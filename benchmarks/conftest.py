@@ -1,0 +1,62 @@
+"""Shared helpers for the experiment benchmarks (E1–E20).
+
+Each benchmark reproduces one slide's table/figure: it runs the experiment
+once inside pytest-benchmark, prints the rows/series the slide reports
+(through captured-output bypass so they appear on the console), and asserts
+the *shape* of the result — who wins, roughly by how much, where the
+crossovers fall. Absolute numbers come from the simulators, not the
+authors' testbed, and are not expected to match.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import Objective
+
+
+@pytest.fixture
+def emit(capfd):
+    """Print to the real console even under pytest's capture."""
+
+    def _emit(text: str) -> None:
+        with capfd.disabled():
+            print(text)
+
+    return _emit
+
+
+@pytest.fixture
+def table(emit):
+    """Print an aligned experiment table."""
+
+    def _table(title, headers, rows):
+        emit("\n" + format_table(headers, rows, title=title))
+
+    return _table
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run
+
+
+THROUGHPUT = Objective("throughput", minimize=False)
+P95 = Objective("latency_p95", minimize=True)
+LATENCY_AVG = Objective("latency_avg", minimize=True)
+
+
+@pytest.fixture
+def throughput_objective():
+    return THROUGHPUT
+
+
+@pytest.fixture
+def p95_objective():
+    return P95

@@ -1,0 +1,67 @@
+"""E15 — early abort for elapsed-time benchmarks (slide 69).
+
+"Report bad score sooner — works well for 'elapsed time based' benchmarks,
+e.g. TPC-H." We tune Spark's TPC-H Q1 runtime: each trial's *cost is its
+runtime*, so stopping a trial once it exceeds 1.5× the best-known runtime
+directly saves benchmark seconds. Shape: with the same trial count, the
+abort policy cuts total benchmark cost substantially while finding an
+equally good configuration.
+"""
+
+import numpy as np
+
+from repro.benchmarking import EarlyAbortPolicy
+from repro.core import Objective, TuningSession
+from repro.exceptions import SystemCrashError, TrialAbortedError
+from repro.optimizers import BayesianOptimizer
+from repro.sysim import CloudEnvironment, SparkCluster
+
+RUNTIME = Objective("runtime_s", minimize=True)
+BUDGET = 35
+N_SEEDS = 2
+
+
+def _evaluator(seed, policy=None):
+    spark = SparkCluster(n_nodes=10, env=CloudEnvironment(seed=seed, transient_noise=0.03), seed=seed)
+
+    def evaluate(config):
+        runtime, _ = spark.q1_game_evaluator(scale_factor=10.0)(config)
+        if policy is not None:
+            value = policy.check(runtime, "runtime_s")  # raises on abort
+            return {"runtime_s": value}, value
+        return {"runtime_s": runtime}, runtime
+
+    return spark, evaluate
+
+
+def _run(seed, with_abort):
+    policy = EarlyAbortPolicy(factor=1.5) if with_abort else None
+    spark, evaluate = _evaluator(seed, policy)
+    opt = BayesianOptimizer(spark.space, n_init=8, objectives=RUNTIME, seed=seed, n_candidates=128)
+    res = TuningSession(opt, evaluate, max_trials=BUDGET).run()
+    return res.best_value, res.total_cost, (policy.aborts if policy else 0)
+
+
+def test_e15_early_abort(run_once, table):
+    def experiment():
+        out = {}
+        for label, with_abort in (("no-abort", False), ("early-abort@1.5x", True)):
+            runs = [_run(seed, with_abort) for seed in range(N_SEEDS)]
+            bests, costs, aborts = zip(*runs)
+            out[label] = (float(np.mean(bests)), float(np.mean(costs)), float(np.mean(aborts)))
+        return out
+
+    results = run_once(experiment)
+    rows = [(k, b, c, a) for k, (b, c, a) in results.items()]
+    table(
+        f"E15 (slide 69) — early abort on Spark TPC-H Q1, {BUDGET} trials",
+        ["policy", "best runtime (s)", "total benchmark seconds", "aborted trials"],
+        rows,
+    )
+    best_no, cost_no, _ = results["no-abort"]
+    best_ab, cost_ab, n_aborts = results["early-abort@1.5x"]
+    # Shape: the abort policy saves a large share of benchmark time...
+    assert cost_ab < cost_no * 0.8
+    assert n_aborts >= 3
+    # ...without losing tuning quality.
+    assert best_ab <= best_no * 1.15

@@ -1,0 +1,124 @@
+"""E21 — ablations of the design choices DESIGN.md calls out.
+
+Not a slide reproduction: a sanity layer over our own engineering choices.
+
+(a) **Constant liar for batch BO** — with fantasies, a batch of 4
+    suggestions is diverse; without, the batch collapses toward one point
+    and parallel sample efficiency drops.
+(b) **TUNA rung schedule** — wider second rungs buy more stability per
+    evaluation dollar; (1,) degenerates to a raw single run.
+(c) **Safety tolerance for SafeBO** — stricter tolerances mean fewer
+    cliff visits but slower improvement; the trade-off must be monotone.
+"""
+
+import numpy as np
+
+from repro.benchmarking import TunaRunner
+from repro.core import Objective, TuningSession
+from repro.online import SafeBayesianOptimizer
+from repro.optimizers import BayesianOptimizer
+from repro.space import ConfigurationSpace, FloatParameter
+from repro.sysim import CloudEnvironment, SimulatedDBMS
+from repro.workloads import tpcc
+
+from benchmarks.conftest import THROUGHPUT
+
+
+def test_e21a_constant_liar(run_once, table):
+    def experiment():
+        space = ConfigurationSpace("cl", seed=0)
+        for i in range(3):
+            space.add(FloatParameter(f"x{i}", 0.0, 1.0))
+
+        def evaluate(config):
+            return sum((config[f"x{i}"] - 0.3) ** 2 for i in range(3)), 1.0
+
+        def batch_spread(use_liar: bool) -> float:
+            opt = BayesianOptimizer(space, n_init=6, seed=0, n_candidates=128)
+            for _ in range(8):
+                c = opt.suggest(1)[0]
+                opt.observe(c, evaluate(c)[0])
+            if use_liar:
+                batch = opt.suggest(4)
+            else:
+                batch = [opt._suggest() for _ in range(4)]  # no fantasies
+            X = np.stack([space.to_unit_array(c) for c in batch])
+            d = [np.linalg.norm(X[i] - X[j]) for i in range(4) for j in range(i + 1, 4)]
+            return float(np.mean(d))
+
+        return batch_spread(True), batch_spread(False)
+
+    with_liar, without = run_once(experiment)
+    table(
+        "E21a — constant-liar batch diversity (mean pairwise distance)",
+        ["mode", "batch spread"],
+        [("constant liar", with_liar), ("no fantasies", without)],
+    )
+    assert with_liar > without * 1.5
+
+
+def test_e21b_tuna_rungs(run_once, table):
+    def experiment():
+        out = {}
+        for rungs in ((1,), (1, 3), (1, 5)):
+            env = CloudEnvironment(
+                seed=5, transient_noise=0.15, load_volatility=0.25,
+                machine_spread=0.10, outlier_fraction=0.2,
+            )
+            db = SimulatedDBMS(env=env, seed=5)
+            tuna = TunaRunner(db, tpcc(50), THROUGHPUT, db.env.allocate_pool(6), rungs=rungs, seed=0)
+            cfg = db.space.make({"buffer_pool_mb": 4096, "worker_threads": 32})
+            values, cost = [], 0.0
+            for _ in range(10):
+                db._home_machine = db.env.allocate()
+                metrics, c = tuna(cfg)
+                values.append(metrics["throughput"])
+                cost += c
+            out[str(rungs)] = (float(np.std(values) / np.mean(values)), cost)
+        return out
+
+    results = run_once(experiment)
+    table(
+        "E21b — TUNA rung-schedule ablation (one fixed config, 10 evaluations)",
+        ["rungs", "score CV", "total cost (s)"],
+        [(k, cv, c) for k, (cv, c) in results.items()],
+    )
+    # Wider rungs are more stable than the single-machine degenerate case.
+    assert results["(1, 5)"][0] < results["(1,)"][0]
+    # And stability costs benchmark time — the trade-off is real.
+    assert results["(1, 5)"][1] > results["(1,)"][1]
+
+
+def test_e21c_safety_tolerance(run_once, table):
+    def experiment():
+        space = ConfigurationSpace("cliff", seed=0)
+        space.add(FloatParameter("x", 0.0, 1.0, default=0.2))
+
+        def cliff(config):
+            x = config["x"]
+            return (50.0 if x > 0.7 else (x - 0.45) ** 2), 1.0
+
+        out = {}
+        for tol in (0.1, 0.5, 2.0):
+            visits, bests = [], []
+            for seed in range(3):
+                opt = SafeBayesianOptimizer(
+                    space, n_init=5, seed=seed, n_candidates=96,
+                    safety_tolerance=tol, trust_radius=0.15,
+                )
+                res = TuningSession(opt, cliff, max_trials=30).run()
+                visits.append(sum(t.config["x"] > 0.7 for t in res.history.trials))
+                bests.append(res.best_value)
+            out[tol] = (float(np.mean(visits)), float(np.mean(bests)))
+        return out
+
+    results = run_once(experiment)
+    table(
+        "E21c — SafeBO safety-tolerance ablation (cliff at x > 0.7)",
+        ["tolerance", "mean cliff visits", "mean best"],
+        [(k, v, b) for k, (v, b) in results.items()],
+    )
+    # Stricter tolerance => no more cliff visits than looser ones.
+    assert results[0.1][0] <= results[2.0][0]
+    # And the strictest setting still finds a good point from the default.
+    assert results[0.1][1] < 0.05

@@ -1,0 +1,80 @@
+"""Tuning in a noisy cloud: naive repeats vs duet vs TUNA.
+
+"Cloud is noisy — unstable performance slows the rate of learning and can
+yield non-transferrable configs" (slides 70-71). This example measures the
+same configuration ten times under four evaluation strategies — each time
+on a *freshly allocated VM*, the situation a real tuning service faces —
+then lets each strategy drive the same Bayesian optimizer and scores the
+chosen configs on a quiet reference machine.
+
+Run:  python examples/noisy_cloud_tuning.py
+"""
+
+import numpy as np
+
+from repro import BayesianOptimizer, Objective, TuningSession
+from repro.analysis import print_table
+from repro.benchmarking import BenchmarkRunner, DuetBenchmarkRunner, TunaRunner
+from repro.sysim import CloudEnvironment, QUIET_CLOUD, SimulatedDBMS
+from repro.workloads import tpcc
+
+THROUGHPUT = Objective("throughput", minimize=False)
+WORKLOAD = tpcc(100)
+
+
+def nasty_cloud(seed):
+    return CloudEnvironment(
+        seed=seed, transient_noise=0.15, load_volatility=0.25,
+        machine_spread=0.10, outlier_fraction=0.2,
+    )
+
+
+def make_evaluator(kind, db, seed):
+    if kind == "raw":
+        return BenchmarkRunner(db, WORKLOAD, THROUGHPUT)
+    if kind == "repeat-3x":
+        return BenchmarkRunner(db, WORKLOAD, THROUGHPUT, repeats=3)
+    if kind == "duet":
+        return DuetBenchmarkRunner(db, WORKLOAD, THROUGHPUT)
+    return TunaRunner(db, WORKLOAD, THROUGHPUT, db.env.allocate_pool(6), seed=seed)
+
+
+def measurement_stability(kind):
+    db = SimulatedDBMS(env=nasty_cloud(7), seed=7)
+    evaluator = make_evaluator(kind, db, 7)
+    cfg = db.space.make({"buffer_pool_mb": 4096, "worker_threads": 32})
+    values = []
+    for _ in range(10):
+        db._home_machine = db.env.allocate()  # a fresh VM every time
+        metrics, _ = evaluator(cfg)
+        values.append(metrics["throughput"])
+    return float(np.std(values) / np.mean(values))
+
+
+def tune_with(kind, seed=0):
+    db = SimulatedDBMS(env=nasty_cloud(seed), seed=seed)
+    evaluator = make_evaluator(kind, db, seed)
+    opt = BayesianOptimizer(db.space, n_init=8, objectives=THROUGHPUT, seed=seed, n_candidates=128)
+    res = TuningSession(opt, evaluator, max_trials=20).run()
+    # Score the chosen config where noise cannot flatter it.
+    ref = SimulatedDBMS(env=QUIET_CLOUD(seed=99), seed=99)
+    true_tput = ref.run(WORKLOAD, config=ref.space.make(
+        {k: v for k, v in res.best_config.as_dict().items() if k in ref.space},
+        check_constraints=False,
+    )).throughput
+    return true_tput, res.total_cost
+
+
+rows = []
+for kind in ("raw", "repeat-3x", "duet", "tuna"):
+    cv = measurement_stability(kind)
+    true_tput, cost = tune_with(kind)
+    rows.append((kind, f"{cv:.3f}", f"{true_tput:,.0f}", f"{cost:,.0f}"))
+
+print_table(
+    ["strategy", "score CV (fresh VM / run)", "true quality of chosen config", "benchmark seconds"],
+    rows,
+    title="noise strategies on a nasty cloud (20-trial BO each)",
+)
+print("\nnote how repeats barely reduce CV — they cannot remove the *machine*"
+      "\nbias, which is exactly why duet pairs runs and TUNA samples the pool.")

@@ -1,0 +1,75 @@
+"""Workload identification: embed, match, reuse, synthesize.
+
+The future-directions pipeline of the paper (slides 88–92):
+
+1. embed telemetry + query-log observations of known workload families;
+2. a *mystery tenant* shows up — match it to its nearest family;
+3. reuse that family's tuned configuration (zero extra benchmark trials);
+4. for a tenant with no good match, synthesize a benchmark mixture that
+   mimics its signature and tune on that instead of production.
+
+Run:  python examples/workload_identification.py
+"""
+
+import numpy as np
+
+from repro import BayesianOptimizer, Objective, TuningSession
+from repro.analysis import print_table
+from repro.sysim import QUIET_CLOUD, SimulatedDBMS
+from repro.workload_id import WorkloadEmbedder, knn_indices, synthesize_benchmark
+from repro.workloads import tpcc, tpch, ycsb
+
+THROUGHPUT = Objective("throughput", minimize=False)
+rng = np.random.default_rng(1)
+
+# --- 1. build the embedding over known families --------------------------------
+families = {"ycsb-a": ycsb("a"), "ycsb-c": ycsb("c"), "tpcc": tpcc(100), "tpch": tpch(10)}
+embedder = WorkloadEmbedder(n_components=4, seed=0, n_steps=96)
+embedder.fit(list(families.values()))
+family_z = np.stack([embedder.embed(w) for w in families.values()])
+print(f"embedded {len(families)} workload families into "
+      f"{family_z.shape[1]}-d vectors (telemetry + query-log features)")
+
+# --- 2. a mystery tenant appears ------------------------------------------------
+mystery = ycsb("a").perturbed(rng, magnitude=0.05)
+z = embedder.embed(mystery)
+match_idx = int(knn_indices(z, family_z, k=1)[0])
+match_name = list(families)[match_idx]
+print(f"mystery tenant matched to: {match_name}")
+
+# --- 3. reuse the matched family's tuned config ----------------------------------
+db = SimulatedDBMS(env=QUIET_CLOUD(seed=4), seed=4)
+
+
+def tune(workload, seed):
+    opt = BayesianOptimizer(db.space, n_init=8, objectives=THROUGHPUT, seed=seed)
+    return TuningSession(opt, db.evaluator(workload, "throughput"), max_trials=30).run().best_config
+
+
+archive = {name: tune(w, 3) for name, w in families.items()}
+rows = [
+    ("default config", db.run(mystery, config=db.space.default_configuration()).throughput),
+    (f"reused from {match_name} (0 trials)", db.run(mystery, config=archive[match_name]).throughput),
+    ("tuned from scratch (30 trials)", db.run(mystery, config=tune(mystery, 5)).throughput),
+]
+print_table(["strategy", "mystery-tenant throughput"], rows,
+            title="config reuse by workload similarity")
+
+# --- 4. synthesize a benchmark for an unmatched tenant ----------------------------
+library = [ycsb("a"), ycsb("b"), ycsb("c"), tpcc(50), tpcc(150), tpch(10)]
+production = tpcc(120).blend(ycsb("b"), 0.3)
+synthetic, weights = synthesize_benchmark(production, library)
+print_table(
+    ["library component", "mixture weight"],
+    [(w.name, f"{wt:.3f}") for w, wt in zip(library, weights) if wt > 0],
+    title=f"synthetic benchmark mimicking {production.name}",
+)
+synth_cfg = tune(synthetic, 6)
+print_table(
+    ["config source", "throughput on production"],
+    [
+        ("default", db.run(production, config=db.space.default_configuration()).throughput),
+        ("tuned on synthetic mix", db.run(production, config=synth_cfg).throughput),
+    ],
+    title="deploying the synthetic-tuned config to production",
+)

@@ -1,0 +1,97 @@
+"""repro — an autotuning-systems library.
+
+A full reproduction of the SIGMOD 2025 tutorial *"Autotuning Systems:
+Techniques, Challenges, and Opportunities"* (Kroth, Matusevych, Zhu):
+offline tuning (classic search, GP/RF Bayesian optimization, evolutionary
+methods, multi-objective/-fidelity/-task machinery), online tuning (RL,
+genetic, hybrid bandits, safety), the systems substrate it all runs on
+(simulated DBMS/Redis/Spark in a noisy cloud), and workload identification
+(embeddings, shift detection, benchmark synthesis).
+"""
+
+from .core import (
+    Callback,
+    ConvergenceTracker,
+    History,
+    Objective,
+    Optimizer,
+    Trial,
+    TrialStatus,
+    TuningResult,
+    TuningSession,
+)
+from .exceptions import (
+    BudgetExhaustedError,
+    ConstraintViolationError,
+    ExhaustedError,
+    GuardrailViolationError,
+    InvalidValueError,
+    NotFittedError,
+    OptimizerError,
+    ReproError,
+    SamplingError,
+    SpaceError,
+    SystemCrashError,
+    TrialAbortedError,
+)
+from .optimizers import (
+    BayesianOptimizer,
+    CMAESOptimizer,
+    GridSearchOptimizer,
+    MultiArmedBanditOptimizer,
+    ParEGOOptimizer,
+    ParticleSwarmOptimizer,
+    RandomSearchOptimizer,
+    SimulatedAnnealingOptimizer,
+    SMACOptimizer,
+)
+from .space import (
+    BooleanParameter,
+    CategoricalParameter,
+    Configuration,
+    ConfigurationSpace,
+    FloatParameter,
+    IntegerParameter,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Callback",
+    "ConvergenceTracker",
+    "History",
+    "Objective",
+    "Optimizer",
+    "Trial",
+    "TrialStatus",
+    "TuningResult",
+    "TuningSession",
+    "BudgetExhaustedError",
+    "ConstraintViolationError",
+    "ExhaustedError",
+    "GuardrailViolationError",
+    "InvalidValueError",
+    "NotFittedError",
+    "OptimizerError",
+    "ReproError",
+    "SamplingError",
+    "SpaceError",
+    "SystemCrashError",
+    "TrialAbortedError",
+    "BayesianOptimizer",
+    "CMAESOptimizer",
+    "GridSearchOptimizer",
+    "MultiArmedBanditOptimizer",
+    "ParEGOOptimizer",
+    "ParticleSwarmOptimizer",
+    "RandomSearchOptimizer",
+    "SimulatedAnnealingOptimizer",
+    "SMACOptimizer",
+    "BooleanParameter",
+    "CategoricalParameter",
+    "Configuration",
+    "ConfigurationSpace",
+    "FloatParameter",
+    "IntegerParameter",
+    "__version__",
+]

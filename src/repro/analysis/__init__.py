@@ -1,0 +1,23 @@
+"""Analysis: knob importance, convergence comparison, reporting."""
+
+from .convergence import ComparisonResult, compare_optimizers, mean_incumbent_curves
+from .importance import (
+    KnobRanking,
+    LassoImportance,
+    lasso_coordinate_descent,
+    permutation_importance,
+)
+from .reporting import format_table, format_value, print_table
+
+__all__ = [
+    "ComparisonResult",
+    "compare_optimizers",
+    "mean_incumbent_curves",
+    "KnobRanking",
+    "LassoImportance",
+    "lasso_coordinate_descent",
+    "permutation_importance",
+    "format_table",
+    "format_value",
+    "print_table",
+]

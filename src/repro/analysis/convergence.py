@@ -1,0 +1,101 @@
+"""Convergence comparison harness — the engine behind most E-benchmarks.
+
+Runs several optimizer factories against evaluator factories over multiple
+seeds, collecting best-so-far curves, trials-to-target, and cost-to-target
+— the sample-efficiency metrics the tutorial's offline section revolves
+around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..core import Objective, Optimizer, TuningSession
+from ..core.result import TuningResult
+from ..exceptions import ReproError
+
+__all__ = ["ComparisonResult", "compare_optimizers", "mean_incumbent_curves"]
+
+
+@dataclass
+class ComparisonResult:
+    """Curves and summary statistics of one optimizer across seeds."""
+
+    name: str
+    results: list[TuningResult] = field(default_factory=list)
+
+    def curves(self) -> np.ndarray:
+        """(n_seeds, n_trials) best-so-far matrix (NaN-padded)."""
+        if not self.results:
+            raise ReproError("no results collected")
+        n = max(r.n_trials for r in self.results)
+        out = np.full((len(self.results), n), np.nan)
+        for i, r in enumerate(self.results):
+            curve = r.incumbent_curve()
+            out[i, : len(curve)] = curve
+            if len(curve) < n and len(curve) > 0:
+                out[i, len(curve):] = curve[-1]
+        return out
+
+    def mean_curve(self) -> np.ndarray:
+        return np.nanmean(self.curves(), axis=0)
+
+    def best_values(self) -> np.ndarray:
+        return np.array([r.best_value for r in self.results])
+
+    def mean_best(self) -> float:
+        return float(self.best_values().mean())
+
+    def mean_trials_to(self, target: float) -> float:
+        """Average trials to reach target (unreached runs count the budget)."""
+        counts = []
+        for r in self.results:
+            t = r.trials_to_reach(target)
+            counts.append(t if t is not None else r.n_trials)
+        return float(np.mean(counts))
+
+    def reach_rate(self, target: float) -> float:
+        hits = sum(1 for r in self.results if r.trials_to_reach(target) is not None)
+        return hits / len(self.results)
+
+    def mean_cost_to(self, target: float) -> float:
+        costs = []
+        for r in self.results:
+            c = r.cost_to_reach(target)
+            costs.append(c if c is not None else r.total_cost)
+        return float(np.mean(costs))
+
+
+def compare_optimizers(
+    factories: Mapping[str, Callable[[int], Optimizer]],
+    evaluator_factory: Callable[[int], Callable],
+    max_trials: int,
+    n_seeds: int = 3,
+    max_cost: float | None = None,
+) -> dict[str, ComparisonResult]:
+    """Run each optimizer factory over ``n_seeds`` fresh evaluators.
+
+    ``factories[name](seed)`` builds the optimizer; ``evaluator_factory(seed)``
+    builds a fresh evaluator (fresh system instance ⇒ independent noise) so
+    methods face identical conditions per seed.
+    """
+    if n_seeds < 1:
+        raise ReproError(f"n_seeds must be >= 1, got {n_seeds}")
+    out: dict[str, ComparisonResult] = {}
+    for name, factory in factories.items():
+        comparison = ComparisonResult(name)
+        for seed in range(n_seeds):
+            optimizer = factory(seed)
+            evaluator = evaluator_factory(seed)
+            session = TuningSession(optimizer, evaluator, max_trials=max_trials, max_cost=max_cost)
+            comparison.results.append(session.run())
+        out[name] = comparison
+    return out
+
+
+def mean_incumbent_curves(results: dict[str, ComparisonResult]) -> dict[str, np.ndarray]:
+    """Mean best-so-far curve per optimizer (for plotting/printing)."""
+    return {name: comp.mean_curve() for name, comp in results.items()}

@@ -1,0 +1,44 @@
+"""Plain-text result tables — what the benchmark harness prints."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_value", "print_table"]
+
+
+def format_value(value) -> str:
+    """Compact human formatting for mixed numeric/string cells."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[format_value(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None) -> None:
+    print("\n" + format_table(headers, rows, title=title))

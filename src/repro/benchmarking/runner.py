@@ -1,0 +1,147 @@
+"""Benchmark execution strategies: repeats, aggregation, early abort.
+
+The "To Learn More … Run More Trials!" slide: repeats fight noise at a
+cost; *early abort* "reports a bad score sooner — works well for
+elapsed-time-based benchmarks, e.g. TPC-H": once a trial is provably worse
+than the best known, stop paying for it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from typing import TYPE_CHECKING
+
+from ..core import Objective
+from ..exceptions import ReproError, TrialAbortedError
+from ..space import Configuration
+from ..workloads import Workload
+from .measurement import Measurement, aggregate_measurements
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a circular import)
+    from ..sysim.system import SimulatedSystem
+
+__all__ = ["BenchmarkRunner", "EarlyAbortPolicy"]
+
+
+class EarlyAbortPolicy:
+    """Abort elapsed-time trials once they exceed ``factor ×`` the best time.
+
+    For a runtime-style metric (lower is better, metric == cost), the
+    benchmark can be stopped at the bound: we then know a *lower bound* on
+    the true value and have only paid the bound. The censored value reported
+    is the bound itself.
+    """
+
+    def __init__(self, factor: float = 2.0) -> None:
+        if factor <= 1.0:
+            raise ReproError(f"abort factor must be > 1, got {factor}")
+        self.factor = float(factor)
+        self.best: float | None = None
+        self.aborts = 0
+        self.saved_cost = 0.0
+
+    def bound(self) -> float | None:
+        return None if self.best is None else self.best * self.factor
+
+    def register(self, value: float) -> None:
+        if self.best is None or value < self.best:
+            self.best = float(value)
+
+    def check(self, value: float, metric_name: str) -> float:
+        """Returns the (possibly censored) value; raises on abort."""
+        bound = self.bound()
+        self.register(min(value, bound) if bound is not None else value)
+        if bound is not None and value > bound:
+            self.aborts += 1
+            self.saved_cost += value - bound
+            error = TrialAbortedError(
+                f"aborted at {bound:.4g} (true value {value:.4g})"
+            )
+            error.censored_metrics = {metric_name: bound}
+            error.cost = bound
+            raise error
+        return value
+
+
+class BenchmarkRunner:
+    """Evaluator factory over a simulated system with noise strategies.
+
+    Parameters
+    ----------
+    system, workload:
+        What to benchmark.
+    objective:
+        The metric being optimized (used by early abort).
+    duration_s:
+        Benchmark length per run.
+    repeats:
+        Naive noise strategy: run N times and aggregate (slide 70's
+        "costly" baseline).
+    aggregate:
+        "mean" or "median" across repeats.
+    early_abort:
+        Optional :class:`EarlyAbortPolicy` (only sensible for runtime-like
+        metrics where metric ≈ cost).
+    runtime_metric:
+        When True, trial cost is the measured metric value itself (TPC-H
+        style) rather than the fixed duration.
+    """
+
+    def __init__(
+        self,
+        system: SimulatedSystem,
+        workload: Workload,
+        objective: Objective,
+        duration_s: float = 60.0,
+        repeats: int = 1,
+        aggregate: str = "median",
+        early_abort: EarlyAbortPolicy | None = None,
+        runtime_metric: bool = False,
+    ) -> None:
+        if repeats < 1:
+            raise ReproError(f"repeats must be >= 1, got {repeats}")
+        self.system = system
+        self.workload = workload
+        self.objective = objective
+        self.duration_s = duration_s
+        self.repeats = int(repeats)
+        self.aggregate = aggregate
+        self.early_abort = early_abort
+        self.runtime_metric = runtime_metric
+        self.total_benchmark_seconds = 0.0
+
+    def measure(self, config: Configuration) -> Measurement:
+        runs = [
+            self.system.run(self.workload, duration_s=self.duration_s, config=config)
+            for _ in range(self.repeats)
+        ]
+        return aggregate_measurements(runs, how=self.aggregate)
+
+    def __call__(self, config: Configuration):
+        """Evaluator: returns (metrics dict, cost)."""
+        m = self.measure(config)
+        value = m.metric(self.objective.name)
+        cost = value * self.repeats if self.runtime_metric else m.elapsed_s
+        if self.early_abort is not None:
+            try:
+                value = self.early_abort.check(value, self.objective.name)
+            except TrialAbortedError as abort:
+                self.total_benchmark_seconds += getattr(abort, "cost", cost)
+                raise
+        self.total_benchmark_seconds += cost
+        metrics = dict(m.metrics())
+        metrics[self.objective.name] = value
+        return metrics, cost
+
+
+def evaluator_from_callable(
+    fn: Callable[[Configuration], float],
+    cost: float = 1.0,
+):
+    """Wrap a plain ``config -> value`` function as a session evaluator."""
+
+    def evaluate(config: Configuration):
+        return fn(config), cost
+
+    return evaluate

@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, scriptable entry points over the library so a tuning run does not
+need a Python file:
+
+* ``tune``       — offline-tune a simulated system with a chosen optimizer
+* ``compare``    — race several optimizers on the same target
+* ``importance`` — rank knob importance from a quick random-search history
+* ``game``       — play one autotuner round of the Spark tuning game
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import LassoImportance, compare_optimizers, format_table
+from .core import Objective, TuningSession
+from .exceptions import ReproError
+from .optimizers import (
+    BayesianOptimizer,
+    BestConfigOptimizer,
+    CMAESOptimizer,
+    GridSearchOptimizer,
+    ParticleSwarmOptimizer,
+    RandomSearchOptimizer,
+    SimulatedAnnealingOptimizer,
+    SMACOptimizer,
+)
+from .sysim import CloudEnvironment, NginxServer, RedisServer, SimulatedDBMS, SparkCluster, redis_benchmark_workload, web_workload
+from .workloads import tpcc, tpch, ycsb
+
+__all__ = ["main", "build_parser"]
+
+_SYSTEMS = ("dbms", "redis", "nginx", "spark")
+_OPTIMIZERS = {
+    "random": lambda space, seed, obj: RandomSearchOptimizer(space, obj, seed=seed),
+    "grid": lambda space, seed, obj: GridSearchOptimizer(
+        space, points_per_dim=4, shuffle=True, objectives=obj, seed=seed
+    ),
+    "bo": lambda space, seed, obj: BayesianOptimizer(space, objectives=obj, seed=seed, n_candidates=192),
+    "smac": lambda space, seed, obj: SMACOptimizer(space, objectives=obj, seed=seed, n_candidates=192),
+    "anneal": lambda space, seed, obj: SimulatedAnnealingOptimizer(space, objectives=obj, seed=seed),
+    "cmaes": lambda space, seed, obj: CMAESOptimizer(space, objectives=obj, seed=seed),
+    "pso": lambda space, seed, obj: ParticleSwarmOptimizer(space, objectives=obj, seed=seed),
+    "bestconfig": lambda space, seed, obj: BestConfigOptimizer(space, objectives=obj, seed=seed),
+}
+
+
+def _make_system(name: str, seed: int, noise: float):
+    env = CloudEnvironment(seed=seed, transient_noise=noise)
+    if name == "dbms":
+        return SimulatedDBMS(env=env, seed=seed)
+    if name == "redis":
+        return RedisServer(env=env, seed=seed)
+    if name == "nginx":
+        return NginxServer(env=env, seed=seed)
+    if name == "spark":
+        return SparkCluster(n_nodes=10, env=env, seed=seed)
+    raise ReproError(f"unknown system {name!r}; choose from {_SYSTEMS}")
+
+
+def _make_workload(system: str, name: str):
+    if name.startswith("ycsb"):
+        return ycsb(name.removeprefix("ycsb-") or "a")
+    if name.startswith("tpcc"):
+        part = name.removeprefix("tpcc").lstrip("-")
+        return tpcc(int(part) if part else 100)
+    if name.startswith("tpch"):
+        part = name.removeprefix("tpch").lstrip("-")
+        return tpch(float(part) if part else 10.0)
+    if name == "default":
+        return {
+            "dbms": tpcc(100),
+            "redis": redis_benchmark_workload(),
+            "nginx": web_workload(),
+            "spark": tpch(10.0, concurrency=4),
+        }[system]
+    raise ReproError(f"unknown workload {name!r}")
+
+
+def _objective_for(system: str, metric: str) -> Objective:
+    minimize = not metric.startswith("throughput")
+    return Objective(metric, minimize=minimize)
+
+
+def _make_optimizer(name: str, space, seed: int, objective: Objective):
+    try:
+        factory = _OPTIMIZERS[name]
+    except KeyError:
+        raise ReproError(f"unknown optimizer {name!r}; choose from {sorted(_OPTIMIZERS)}") from None
+    return factory(space, seed, objective)
+
+
+# -- commands -----------------------------------------------------------------
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    system = _make_system(args.system, args.seed, args.noise)
+    workload = _make_workload(args.system, args.workload)
+    objective = _objective_for(args.system, args.metric)
+    default = system.run(workload, config=system.space.default_configuration()).metric(args.metric)
+    optimizer = _make_optimizer(args.optimizer, system.space, args.seed, objective)
+    result = TuningSession(
+        optimizer, system.evaluator(workload, args.metric), max_trials=args.trials
+    ).run()
+    print(format_table(
+        ["", args.metric],
+        [("default", default), ("tuned", result.best_value)],
+        title=f"tune {args.system}/{workload.name} with {args.optimizer} ({args.trials} trials)",
+    ))
+    print("\nbest configuration:")
+    for name in system.space.names:
+        print(f"  {name} = {result.best_config[name]}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    objective = _objective_for(args.system, args.metric)
+
+    def evaluator_factory(seed):
+        system = _make_system(args.system, seed, args.noise)
+        workload = _make_workload(args.system, args.workload)
+        return system.evaluator(workload, args.metric)
+
+    factories = {}
+    for name in args.optimizers.split(","):
+        name = name.strip()
+
+        def factory(seed, _name=name):
+            space = _make_system(args.system, seed, args.noise).space
+            return _make_optimizer(_name, space, seed, objective)
+
+        factories[name] = factory
+    results = compare_optimizers(factories, evaluator_factory, max_trials=args.trials, n_seeds=args.seeds)
+    rows = [(name, comp.mean_best()) for name, comp in results.items()]
+    print(format_table(
+        ["optimizer", f"mean best {args.metric}"],
+        rows,
+        title=f"compare on {args.system}/{args.workload}, {args.trials} trials x {args.seeds} seeds",
+    ))
+    return 0
+
+
+def _cmd_importance(args: argparse.Namespace) -> int:
+    system = _make_system(args.system, args.seed, args.noise)
+    workload = _make_workload(args.system, args.workload)
+    objective = _objective_for(args.system, args.metric)
+    optimizer = RandomSearchOptimizer(system.space, objective, seed=args.seed)
+    TuningSession(
+        optimizer, system.evaluator(workload, args.metric), max_trials=args.trials
+    ).run()
+    ranking = LassoImportance(system.space).rank(optimizer.history)
+    rows = [(i + 1, k, s) for i, (k, s) in enumerate(zip(ranking.knobs, ranking.scores))]
+    print(format_table(
+        ["rank", "knob", "score"],
+        rows[: args.top],
+        title=f"knob importance on {args.system}/{workload.name} ({args.trials} trials)",
+    ))
+    return 0
+
+
+def _cmd_game(args: argparse.Namespace) -> int:
+    spark = SparkCluster(n_nodes=10, env=CloudEnvironment(seed=args.seed, transient_noise=args.noise), seed=args.seed)
+    evaluate = spark.q1_game_evaluator(scale_factor=args.scale_factor)
+    default, _ = evaluate(spark.space.default_configuration())
+    objective = Objective("runtime_s", minimize=True)
+    optimizer = _make_optimizer(args.optimizer, spark.space, args.seed, objective)
+
+    def wrapped(config):
+        value, cost = evaluate(config)
+        return {"runtime_s": value}, cost
+
+    result = TuningSession(optimizer, wrapped, max_trials=args.tries).run()
+    print(format_table(
+        ["player", "Q1 runtime (s)"],
+        [("defaults", default), (args.optimizer, result.best_value)],
+        title=f"spark tuning game, SF{args.scale_factor:g}, {args.tries} tries",
+    ))
+    return 0
+
+
+# -- parser ---------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--system", choices=_SYSTEMS, default="dbms")
+        p.add_argument("--workload", default="default",
+                       help="ycsb-a..f | tpcc[-N] | tpch[-SF] | default")
+        p.add_argument("--metric", default="throughput",
+                       help="throughput | latency_avg | latency_p95 | ...")
+        p.add_argument("--trials", type=int, default=30)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--noise", type=float, default=0.03)
+
+    p = sub.add_parser("tune", help="offline-tune one system")
+    common(p)
+    p.add_argument("--optimizer", choices=sorted(_OPTIMIZERS), default="bo")
+    p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser("compare", help="race several optimizers")
+    common(p)
+    p.add_argument("--optimizers", default="random,bo,smac",
+                   help="comma-separated optimizer names")
+    p.add_argument("--seeds", type=int, default=2)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("importance", help="rank knob importance")
+    common(p)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=_cmd_importance)
+
+    p = sub.add_parser("game", help="play the Spark tuning game")
+    p.add_argument("--optimizer", choices=sorted(_OPTIMIZERS), default="bo")
+    p.add_argument("--tries", type=int, default=100)
+    p.add_argument("--scale-factor", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--noise", type=float, default=0.03)
+    p.set_defaults(func=_cmd_game)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Tuning core: ask/tell protocol, trials, sessions, callbacks."""
+
+from .callbacks import Callback, ConvergenceTracker, LoggingCallback, StopWhenConverged, StopWhenReached
+from .optimizer import History, Objective, Optimizer, Trial, TrialStatus
+from .result import TuningResult
+from .storage import (
+    load_prior_bank,
+    load_trials,
+    save_prior_bank,
+    save_trials,
+    trial_from_dict,
+    trial_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+from .session import Evaluator, TuningSession
+
+__all__ = [
+    "Callback",
+    "ConvergenceTracker",
+    "LoggingCallback",
+    "StopWhenConverged",
+    "StopWhenReached",
+    "History",
+    "Objective",
+    "Optimizer",
+    "Trial",
+    "TrialStatus",
+    "TuningResult",
+    "load_prior_bank",
+    "load_trials",
+    "save_prior_bank",
+    "save_trials",
+    "trial_from_dict",
+    "trial_to_dict",
+    "workload_from_dict",
+    "workload_to_dict",
+    "Evaluator",
+    "TuningSession",
+]

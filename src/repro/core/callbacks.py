@@ -1,0 +1,126 @@
+"""Session callbacks: convergence tracking, logging, early stopping."""
+
+from __future__ import annotations
+
+import logging
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .optimizer import Trial
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .session import TuningSession
+
+__all__ = ["Callback", "ConvergenceTracker", "LoggingCallback", "StopWhenReached", "StopWhenConverged"]
+
+logger = logging.getLogger(__name__)
+
+
+class Callback:
+    """Observer hooks invoked by :class:`~repro.core.session.TuningSession`."""
+
+    def on_trial_start(self, session: "TuningSession", trial_index: int) -> None:
+        """Called before each trial is evaluated."""
+
+    def on_trial_end(self, session: "TuningSession", trial: Trial) -> None:
+        """Called after each trial is recorded."""
+
+    def on_session_end(self, session: "TuningSession") -> None:
+        """Called once when the session finishes."""
+
+    def should_stop(self, session: "TuningSession") -> bool:
+        """Return True to end the session early."""
+        return False
+
+
+class ConvergenceTracker(Callback):
+    """Records (trial index, cumulative cost, best-so-far) tuples."""
+
+    def __init__(self) -> None:
+        self.trial_indices: list[int] = []
+        self.cumulative_cost: list[float] = []
+        self.best_so_far: list[float] = []
+        self._cost = 0.0
+        self._best_score = np.inf
+
+    def on_trial_end(self, session: "TuningSession", trial: Trial) -> None:
+        obj = session.optimizer.objective
+        self._cost += trial.cost
+        if trial.ok:
+            self._best_score = min(self._best_score, obj.score(trial.metric(obj.name)))
+        self.trial_indices.append(trial.trial_id)
+        self.cumulative_cost.append(self._cost)
+        self.best_so_far.append(
+            obj.unscore(self._best_score) if np.isfinite(self._best_score) else np.nan
+        )
+
+    def curve(self) -> np.ndarray:
+        return np.array(self.best_so_far)
+
+
+class LoggingCallback(Callback):
+    """Logs each trial at INFO level — the session's flight recorder."""
+
+    def __init__(self, every: int = 1) -> None:
+        self.every = max(1, int(every))
+
+    def on_trial_end(self, session: "TuningSession", trial: Trial) -> None:
+        if trial.trial_id % self.every:
+            return
+        obj = session.optimizer.objective
+        value = trial.metrics.get(obj.name, float("nan"))
+        logger.info(
+            "trial=%d status=%s %s=%.6g cost=%.3g",
+            trial.trial_id, trial.status.value, obj.name, value, trial.cost,
+        )
+
+
+class StopWhenReached(Callback):
+    """Stop the session once the incumbent reaches a target value."""
+
+    def __init__(self, target: float) -> None:
+        self.target = float(target)
+
+    def should_stop(self, session: "TuningSession") -> bool:
+        obj = session.optimizer.objective
+        try:
+            best = session.optimizer.history.best_value(obj)
+        except Exception:
+            return False
+        return obj.score(best) <= obj.score(self.target)
+
+
+class StopWhenConverged(Callback):
+    """Stop when the incumbent has not improved for ``patience`` trials.
+
+    The standard budget-saver: tuning campaigns rarely know the right trial
+    count up front, but "no progress in N trials" is a serviceable proxy
+    for convergence.
+    """
+
+    def __init__(self, patience: int = 15, min_trials: int = 10, rel_tolerance: float = 1e-3) -> None:
+        if patience < 1 or min_trials < 1:
+            raise ValueError("patience and min_trials must be >= 1")
+        self.patience = int(patience)
+        self.min_trials = int(min_trials)
+        self.rel_tolerance = float(rel_tolerance)
+        self._best: float | None = None
+        self._since_improvement = 0
+        self._n_trials = 0
+
+    def on_trial_end(self, session: "TuningSession", trial: Trial) -> None:
+        obj = session.optimizer.objective
+        self._n_trials += 1
+        if not trial.ok:
+            self._since_improvement += 1
+            return
+        score = obj.score(trial.metric(obj.name))
+        if self._best is None or score < self._best - abs(self._best) * self.rel_tolerance:
+            self._best = score
+            self._since_improvement = 0
+        else:
+            self._since_improvement += 1
+
+    def should_stop(self, session: "TuningSession") -> bool:
+        return self._n_trials >= self.min_trials and self._since_improvement >= self.patience

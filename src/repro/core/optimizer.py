@@ -1,0 +1,344 @@
+"""The optimizer protocol: suggest/observe over a configuration space.
+
+The tutorial's "Optimizer as a Black Box" slide: *the target function is a
+black box to the optimizer, and the optimizer is a black box to the target*.
+Every tuning algorithm in this library — grid search through GP-BO through
+online RL — speaks the same ask/tell protocol defined here, so the systems
+machinery (noise handling, parallel trials, early abort, adapters) composes
+with any of them.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import OptimizerError
+from ..space import Configuration, ConfigurationSpace
+
+__all__ = ["TrialStatus", "Objective", "Trial", "History", "Optimizer"]
+
+
+class TrialStatus(enum.Enum):
+    """Lifecycle of one benchmark trial."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"  # system crashed / config undeployable
+    ABORTED = "aborted"  # cut short by an early-abort policy or guardrail
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A metric to optimize and its direction.
+
+    ``score(value)`` maps the raw metric into canonical *minimize* form so
+    optimizers never branch on direction.
+    """
+
+    name: str
+    minimize: bool = True
+
+    def score(self, value: float) -> float:
+        return float(value) if self.minimize else -float(value)
+
+    def unscore(self, score: float) -> float:
+        return float(score) if self.minimize else -float(score)
+
+
+@dataclass
+class Trial:
+    """One evaluated (or failed) configuration with its measured metrics."""
+
+    trial_id: int
+    config: Configuration
+    status: TrialStatus = TrialStatus.PENDING
+    metrics: dict[str, float] = field(default_factory=dict)
+    cost: float = 0.0  # resource cost of the trial (e.g. benchmark seconds)
+    fidelity: float | None = None  # multi-fidelity level, None = full fidelity
+    context: dict[str, Any] = field(default_factory=dict)  # workload / machine / etc.
+
+    @property
+    def ok(self) -> bool:
+        return self.status is TrialStatus.SUCCEEDED
+
+    def metric(self, name: str) -> float:
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise OptimizerError(f"trial {self.trial_id} has no metric {name!r}") from None
+
+
+class History:
+    """Append-only record of trials; the optimizer's training data."""
+
+    def __init__(self, objectives: Sequence[Objective]) -> None:
+        if not objectives:
+            raise OptimizerError("need at least one objective")
+        self.objectives = list(objectives)
+        self._trials: list[Trial] = []
+
+    @property
+    def primary(self) -> Objective:
+        return self.objectives[0]
+
+    @property
+    def trials(self) -> list[Trial]:
+        return list(self._trials)
+
+    def __len__(self) -> int:
+        return len(self._trials)
+
+    def __iter__(self):
+        return iter(self._trials)
+
+    def add(self, trial: Trial) -> None:
+        self._trials.append(trial)
+
+    def completed(self) -> list[Trial]:
+        return [t for t in self._trials if t.ok]
+
+    def failed(self) -> list[Trial]:
+        return [t for t in self._trials if t.status in (TrialStatus.FAILED, TrialStatus.ABORTED)]
+
+    def with_metrics(self, objective: Objective | None = None) -> list[Trial]:
+        """Trials usable as surrogate training data: successes plus
+        failures carrying imputed metrics (so models learn crash regions)."""
+        obj = objective or self.primary
+        return [t for t in self._trials if obj.name in t.metrics]
+
+    def training_data(
+        self,
+        objective: Objective | None = None,
+        crash_penalty_factor: float = 2.0,
+    ) -> tuple[list[Trial], np.ndarray]:
+        """(trials, scores) for surrogate fitting, with *live* crash imputation.
+
+        Failed trials are re-imputed against the current worst real score at
+        every call — a crash observed before any success would otherwise pin
+        an arbitrary sentinel into the model's scale forever.
+        """
+        obj = objective or self.primary
+        real = self.completed()
+        real_scores = np.array([obj.score(t.metric(obj.name)) for t in real])
+        failed = [t for t in self._trials if t.status in (TrialStatus.FAILED, TrialStatus.ABORTED)]
+        if len(real_scores) == 0:
+            return real, real_scores
+        worst = float(real_scores.max())
+        imputed = worst + (crash_penalty_factor - 1.0) * abs(worst) + 1e-9
+        trials = real + failed
+        scores = np.concatenate([real_scores, np.full(len(failed), imputed)])
+        return trials, scores
+
+    def scores(self, objective: Objective | None = None) -> np.ndarray:
+        """Canonical minimize-scores of completed trials, in trial order."""
+        obj = objective or self.primary
+        return np.array([obj.score(t.metric(obj.name)) for t in self.completed()])
+
+    def best(self, objective: Objective | None = None) -> Trial:
+        obj = objective or self.primary
+        done = self.completed()
+        if not done:
+            raise OptimizerError("no completed trials yet")
+        return min(done, key=lambda t: obj.score(t.metric(obj.name)))
+
+    def best_value(self, objective: Objective | None = None) -> float:
+        obj = objective or self.primary
+        return self.best(obj).metric(obj.name)
+
+    def worst_score(self, objective: Objective | None = None) -> float:
+        scores = self.scores(objective)
+        if len(scores) == 0:
+            raise OptimizerError("no completed trials yet")
+        return float(scores.max())
+
+    def incumbent_curve(self, objective: Objective | None = None) -> np.ndarray:
+        """Best-so-far metric value after each trial (failed trials repeat).
+
+        This is the convergence curve every offline-tuning figure plots.
+        """
+        obj = objective or self.primary
+        best = np.inf
+        curve = []
+        for t in self._trials:
+            if t.ok:
+                best = min(best, obj.score(t.metric(obj.name)))
+            curve.append(obj.unscore(best) if np.isfinite(best) else np.nan)
+        return np.array(curve)
+
+    def total_cost(self) -> float:
+        return float(sum(t.cost for t in self._trials))
+
+    def to_arrays(self, space: ConfigurationSpace, objective: Objective | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """(X, y) training data: unit-encoded configs and minimize-scores."""
+        obj = objective or self.primary
+        done = self.completed()
+        if not done:
+            return np.empty((0, space.n_dims)), np.empty(0)
+        X = np.stack([space.to_unit_array(t.config) for t in done])
+        y = np.array([obj.score(t.metric(obj.name)) for t in done])
+        return X, y
+
+
+class Optimizer(ABC):
+    """Base class for all tuning algorithms (ask/tell protocol).
+
+    Subclasses implement :meth:`_suggest` (and optionally :meth:`_on_observe`)
+    — everything else, including trial bookkeeping and failure imputation, is
+    handled here.
+    """
+
+    #: Set by subclasses that natively handle >1 objective (e.g. ParEGO).
+    supports_multi_objective: bool = False
+
+    #: Whether observations for configurations this optimizer did not
+    #: suggest improve its model (surrogate methods) or would corrupt its
+    #: internal bookkeeping (generation-based methods match observations to
+    #: suggestions by queue order). Ensembles consult this before sharing.
+    accepts_foreign_observations: bool = True
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        objectives: Sequence[Objective] | Objective | None = None,
+        seed: int | None = None,
+        crash_penalty_factor: float = 2.0,
+    ) -> None:
+        if isinstance(objectives, Objective):
+            objectives = [objectives]
+        self.space = space
+        self.objectives = list(objectives) if objectives else [Objective("score", minimize=True)]
+        if len(self.objectives) > 1 and not self.supports_multi_objective:
+            raise OptimizerError(
+                f"{type(self).__name__} is single-objective; use ParEGOOptimizer "
+                "or scalarize the objectives first"
+            )
+        self.rng = np.random.default_rng(seed)
+        self.history = History(self.objectives)
+        self.crash_penalty_factor = float(crash_penalty_factor)
+        self._next_trial_id = 0
+
+    @property
+    def objective(self) -> Objective:
+        return self.objectives[0]
+
+    # -- ask ----------------------------------------------------------------
+    def suggest(self, n: int = 1) -> list[Configuration]:
+        """Propose the next ``n`` configurations to evaluate."""
+        if n < 1:
+            raise OptimizerError(f"n must be >= 1, got {n}")
+        return [self._suggest() for _ in range(n)]
+
+    @abstractmethod
+    def _suggest(self) -> Configuration:
+        """Produce a single suggestion."""
+
+    # -- tell ----------------------------------------------------------------
+    def observe(
+        self,
+        config: Configuration,
+        metrics: Mapping[str, float] | float,
+        cost: float = 1.0,
+        status: TrialStatus = TrialStatus.SUCCEEDED,
+        fidelity: float | None = None,
+        context: Mapping[str, Any] | None = None,
+    ) -> Trial:
+        """Record a trial result and update the internal model."""
+        if isinstance(metrics, (int, float, np.floating, np.integer)):
+            metrics = {self.objective.name: float(metrics)}
+        trial = Trial(
+            trial_id=self._next_trial_id,
+            config=config,
+            status=status,
+            metrics={k: float(v) for k, v in metrics.items()},
+            cost=float(cost),
+            fidelity=fidelity,
+            context=dict(context or {}),
+        )
+        self._next_trial_id += 1
+        if trial.ok:
+            for obj in self.objectives:
+                if obj.name not in trial.metrics:
+                    raise OptimizerError(
+                        f"completed trial is missing objective metric {obj.name!r}; got {sorted(trial.metrics)}"
+                    )
+        self.history.add(trial)
+        self._on_observe(trial)
+        return trial
+
+    def observe_failure(
+        self,
+        config: Configuration,
+        cost: float = 1.0,
+        status: TrialStatus = TrialStatus.FAILED,
+        context: Mapping[str, Any] | None = None,
+    ) -> Trial:
+        """Record a crashed/aborted trial, imputing a pessimistic score.
+
+        Knowledge-transfer slide: *Bad: no score (e.g. crashed)? Make it up!
+        N × worst_score_measured* — the imputed value steers the model away
+        from the crash region without poisoning the scale too badly.
+        """
+        metrics: dict[str, float] = {}
+        for obj in self.objectives:
+            scores = self.history.scores(obj)
+            if len(scores) > 0:
+                worst = float(scores.max())
+                # Push strictly further in the bad direction, regardless of
+                # the score's sign (maximize objectives have negative scores).
+                imputed_score = worst + (self.crash_penalty_factor - 1.0) * abs(worst) + 1e-9
+                imputed = obj.unscore(imputed_score)
+            else:
+                imputed = obj.unscore(1e9)
+            metrics[obj.name] = imputed
+        trial = Trial(
+            trial_id=self._next_trial_id,
+            config=config,
+            status=status,
+            metrics=metrics,
+            cost=float(cost),
+            context=dict(context or {}),
+        )
+        self._next_trial_id += 1
+        self.history.add(trial)
+        self._on_observe_failure(trial)
+        return trial
+
+    def _on_observe(self, trial: Trial) -> None:
+        """Hook: update the surrogate after a successful trial."""
+
+    def _on_observe_failure(self, trial: Trial) -> None:
+        """Hook: by default failures (with imputed metrics) train the model too."""
+        self._on_observe(trial)
+
+    # -- warm start --------------------------------------------------------------
+    def warm_start(self, trials: Iterable[Trial]) -> int:
+        """Seed the optimizer with prior trials (knowledge transfer).
+
+        Returns the number of trials ingested. Configurations are re-made in
+        this optimizer's space so histories from compatible spaces transfer.
+        """
+        count = 0
+        for t in trials:
+            config = self.space.make(
+                {k: v for k, v in t.config.as_dict().items() if k in self.space},
+                check_constraints=False,
+            )
+            self.observe(config, t.metrics, cost=t.cost, status=t.status, fidelity=t.fidelity, context=t.context)
+            count += 1
+        return count
+
+    # -- results -----------------------------------------------------------------
+    def best_trial(self) -> Trial:
+        return self.history.best()
+
+    def best_config(self) -> Configuration:
+        return self.best_trial().config
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(space={self.space.name!r}, n_trials={len(self.history)})"

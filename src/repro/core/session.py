@@ -1,0 +1,143 @@
+"""The offline tuning loop (scheduler of the tutorial's architecture slide).
+
+``TuningSession`` wires an :class:`~repro.core.optimizer.Optimizer` to an
+*evaluator* — any callable taking a configuration and returning metrics —
+and runs the suggest → evaluate → observe loop under trial/cost budgets.
+Crashes (:class:`~repro.exceptions.SystemCrashError`) and early aborts
+(:class:`~repro.exceptions.TrialAbortedError`) become failed trials with
+imputed scores rather than terminating the run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from ..exceptions import OptimizerError, SystemCrashError, TrialAbortedError
+from ..space import Configuration
+from .callbacks import Callback
+from .optimizer import Optimizer, TrialStatus
+from .result import TuningResult
+
+__all__ = ["TuningSession", "Evaluator"]
+
+#: An evaluator maps a configuration to a metric value or metric mapping.
+#: It may also return ``(metrics, cost)`` to report trial cost explicitly.
+Evaluator = Callable[[Configuration], Any]
+
+
+class TuningSession:
+    """Drives one offline tuning run.
+
+    Parameters
+    ----------
+    optimizer:
+        Any ask/tell optimizer.
+    evaluator:
+        Callable evaluating one configuration. May return a float, a metric
+        mapping, or a ``(metrics, cost)`` tuple; may raise
+        :class:`SystemCrashError` or :class:`TrialAbortedError`.
+    max_trials:
+        Trial budget.
+    max_cost:
+        Optional cumulative-cost budget (e.g. total benchmark seconds).
+    batch_size:
+        Suggestions requested per iteration (synchronous parallel tuning).
+    callbacks:
+        Observers; see :mod:`repro.core.callbacks`.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        evaluator: Evaluator,
+        max_trials: int,
+        max_cost: float | None = None,
+        batch_size: int = 1,
+        callbacks: Sequence[Callback] = (),
+    ) -> None:
+        if max_trials < 1:
+            raise OptimizerError(f"max_trials must be >= 1, got {max_trials}")
+        if batch_size < 1:
+            raise OptimizerError(f"batch_size must be >= 1, got {batch_size}")
+        self.optimizer = optimizer
+        self.evaluator = evaluator
+        self.max_trials = int(max_trials)
+        self.max_cost = max_cost
+        self.batch_size = int(batch_size)
+        self.callbacks = list(callbacks)
+
+    # -- internals ---------------------------------------------------------
+    @staticmethod
+    def _unpack(result: Any) -> tuple[Mapping[str, float] | float, float]:
+        """Normalise evaluator output to (metrics, cost)."""
+        if isinstance(result, tuple) and len(result) == 2:
+            metrics, cost = result
+            return metrics, float(cost)
+        return result, 1.0
+
+    def _spent(self) -> float:
+        return self.optimizer.history.total_cost()
+
+    def _budget_left(self, n_done: int) -> bool:
+        if n_done >= self.max_trials:
+            return False
+        if self.max_cost is not None and self._spent() >= self.max_cost:
+            return False
+        return any(cb.should_stop(self) for cb in self.callbacks) is False
+
+    # -- main loop ----------------------------------------------------------
+    def run(self) -> TuningResult:
+        """Run to budget exhaustion and return the result."""
+        n_done = len(self.optimizer.history)
+        while self._budget_left(n_done):
+            want = min(self.batch_size, self.max_trials - n_done)
+            configs = self.optimizer.suggest(want)
+            for config in configs:
+                for cb in self.callbacks:
+                    cb.on_trial_start(self, n_done)
+                trial = self._evaluate_one(config)
+                n_done += 1
+                for cb in self.callbacks:
+                    cb.on_trial_end(self, trial)
+                if not self._budget_left(n_done):
+                    break
+        for cb in self.callbacks:
+            cb.on_session_end(self)
+        return self.result()
+
+    def _evaluate_one(self, config: Configuration):
+        try:
+            metrics, cost = self._unpack(self.evaluator(config))
+        except SystemCrashError:
+            return self.optimizer.observe_failure(config, status=TrialStatus.FAILED)
+        except TrialAbortedError as abort:
+            # An aborted elapsed-time benchmark still carries information: the
+            # run exceeded the abort threshold, so report that censored value.
+            censored = getattr(abort, "censored_metrics", None)
+            if censored:
+                return self.optimizer.observe(
+                    config, censored, cost=getattr(abort, "cost", 1.0), status=TrialStatus.SUCCEEDED
+                )
+            return self.optimizer.observe_failure(config, status=TrialStatus.ABORTED)
+        return self.optimizer.observe(config, metrics, cost=cost)
+
+    def result(self) -> TuningResult:
+        """Snapshot the current result (valid mid-run as well)."""
+        obj = self.optimizer.objective
+        try:
+            best = self.optimizer.history.best(obj)
+        except OptimizerError:
+            # Every trial failed: fall back to the least-bad imputed trial so
+            # callers still get a full report of the (disastrous) run.
+            trials = [t for t in self.optimizer.history if obj.name in t.metrics]
+            if not trials:
+                raise
+            best = min(trials, key=lambda t: obj.score(t.metric(obj.name)))
+        return TuningResult(
+            best_config=best.config,
+            best_value=best.metric(obj.name),
+            objective=obj,
+            history=self.optimizer.history,
+            n_trials=len(self.optimizer.history),
+            total_cost=self._spent(),
+        )

@@ -1,0 +1,152 @@
+"""Persistence for tuning histories and prior banks.
+
+Knowledge transfer (slide 67) only works if yesterday's trials survive
+until today: this module serialises trials, histories, and workloads to
+JSON so a :class:`~repro.optimizers.transfer.PriorBank` can live on disk
+between tuning campaigns.
+
+Configurations are stored as plain value mappings and re-validated against
+the target space at load time — histories transfer across compatible
+spaces (extra knobs are dropped, missing ones take defaults), mirroring
+how `Optimizer.warm_start` behaves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..exceptions import ReproError
+from ..space import ConfigurationSpace
+from ..workloads import Workload
+from .optimizer import History, Objective, Trial, TrialStatus
+
+__all__ = [
+    "trial_to_dict",
+    "trial_from_dict",
+    "save_trials",
+    "load_trials",
+    "workload_to_dict",
+    "workload_from_dict",
+    "save_prior_bank",
+    "load_prior_bank",
+]
+
+_FORMAT_VERSION = 1
+
+
+def trial_to_dict(trial: Trial) -> dict[str, Any]:
+    """JSON-safe representation of one trial."""
+    return {
+        "trial_id": trial.trial_id,
+        "config": trial.config.as_dict(),
+        "status": trial.status.value,
+        "metrics": dict(trial.metrics),
+        "cost": trial.cost,
+        "fidelity": trial.fidelity,
+        "context": dict(trial.context),
+    }
+
+
+def trial_from_dict(data: dict[str, Any], space: ConfigurationSpace) -> Trial:
+    """Rebuild a trial, re-validating the configuration against ``space``."""
+    try:
+        values = {k: v for k, v in data["config"].items() if k in space}
+        config = space.make(values, check_constraints=False)
+        return Trial(
+            trial_id=int(data["trial_id"]),
+            config=config,
+            status=TrialStatus(data["status"]),
+            metrics={k: float(v) for k, v in data["metrics"].items()},
+            cost=float(data.get("cost", 1.0)),
+            fidelity=data.get("fidelity"),
+            context=dict(data.get("context", {})),
+        )
+    except (KeyError, ValueError, TypeError) as err:
+        raise ReproError(f"malformed trial record: {err}") from err
+
+
+def save_trials(trials: Iterable[Trial], path: str | Path) -> int:
+    """Write trials as a JSON document; returns the number written."""
+    records = [trial_to_dict(t) for t in trials]
+    payload = {"version": _FORMAT_VERSION, "trials": records}
+    Path(path).write_text(json.dumps(payload, indent=2, default=_json_default))
+    return len(records)
+
+
+def load_trials(path: str | Path, space: ConfigurationSpace) -> list[Trial]:
+    """Load trials saved by :func:`save_trials`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        raise ReproError(f"cannot read trial file {path}: {err}") from err
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ReproError(f"unsupported trial-file version: {payload.get('version')!r}")
+    return [trial_from_dict(r, space) for r in payload.get("trials", [])]
+
+
+def _json_default(obj: Any):
+    # numpy scalars and similar sneak into metrics; coerce to plain floats.
+    if hasattr(obj, "item"):
+        return obj.item()
+    raise TypeError(f"not JSON serialisable: {type(obj)!r}")
+
+
+# -- workloads ---------------------------------------------------------------
+
+
+def workload_to_dict(workload: Workload) -> dict[str, Any]:
+    out = dataclasses.asdict(workload)
+    out["tags"] = list(out["tags"])
+    return out
+
+
+def workload_from_dict(data: dict[str, Any]) -> Workload:
+    try:
+        data = dict(data)
+        data["tags"] = tuple(data.get("tags", ()))
+        return Workload(**data)
+    except TypeError as err:
+        raise ReproError(f"malformed workload record: {err}") from err
+
+
+# -- prior banks ------------------------------------------------------------------
+
+
+def save_prior_bank(bank, path: str | Path) -> int:
+    """Persist a :class:`~repro.optimizers.transfer.PriorBank` to one JSON file."""
+    runs = [
+        {
+            "workload": workload_to_dict(run.workload),
+            "context": dict(run.context),
+            "trials": [trial_to_dict(t) for t in run.trials],
+        }
+        for run in bank.runs
+    ]
+    payload = {"version": _FORMAT_VERSION, "runs": runs}
+    Path(path).write_text(json.dumps(payload, indent=2, default=_json_default))
+    return len(runs)
+
+
+def load_prior_bank(path: str | Path, space: ConfigurationSpace):
+    """Load a prior bank; trial configs are re-validated against ``space``."""
+    from ..optimizers.transfer import PriorBank, PriorRun
+
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        raise ReproError(f"cannot read prior bank {path}: {err}") from err
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ReproError(f"unsupported prior-bank version: {payload.get('version')!r}")
+    bank = PriorBank()
+    for record in payload.get("runs", []):
+        bank.add(
+            PriorRun(
+                workload=workload_from_dict(record["workload"]),
+                trials=[trial_from_dict(t, space) for t in record.get("trials", [])],
+                context=dict(record.get("context", {})),
+            )
+        )
+    return bank

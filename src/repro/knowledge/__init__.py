@@ -1,0 +1,6 @@
+"""Knob discovery from documentation (the simulated-LLM pipeline)."""
+
+from .discovery import DiscoveredKnob, ManualKnowledgeExtractor
+from .manual import DBMS_MANUAL, ManualEntry
+
+__all__ = ["DiscoveredKnob", "ManualKnowledgeExtractor", "DBMS_MANUAL", "ManualEntry"]

@@ -1,0 +1,198 @@
+"""A structured knob-manual corpus — what the LLM would read (slide 63).
+
+DB-BERT and GPTuner mine "manuals, documentation, source code,
+StackOverflow" for which knobs matter and what ranges make sense. This
+module is the corpus: documentation entries for the simulated DBMS's knobs
+written in the style of real PostgreSQL/MySQL docs, including the hedged,
+qualitative language ("can significantly improve", "rarely needs changing")
+that an extractor must interpret.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ManualEntry", "DBMS_MANUAL"]
+
+
+@dataclass(frozen=True)
+class ManualEntry:
+    """One knob's documentation.
+
+    ``text`` is the free-form doc; everything an extractor learns must come
+    from the text itself (the structured fields below exist only for
+    corpus-validation tests, mirroring how GPTuner evaluates extraction
+    against expert labels).
+    """
+
+    knob: str
+    text: str
+    expert_importance: float = 0.0  # ground-truth label in [0, 1]
+    expert_range_hint: tuple[float, float] | None = None  # unit-space hint
+    related: tuple[str, ...] = field(default_factory=tuple)
+
+
+DBMS_MANUAL: dict[str, ManualEntry] = {
+    e.knob: e
+    for e in [
+        ManualEntry(
+            "buffer_pool_mb",
+            "Sets the amount of memory the database server uses for shared data "
+            "buffers. This parameter has a significant impact on performance: a "
+            "value that is too small leaves most reads going to disk, while a "
+            "reasonable starting point on a dedicated server is 50% to 75% of "
+            "system memory. Critical for read-heavy workloads. Requires restart.",
+            expert_importance=1.0,
+            expert_range_hint=(0.6, 0.95),
+            related=("wal_buffer_mb",),
+        ),
+        ManualEntry(
+            "worker_threads",
+            "Maximum number of worker threads servicing client requests. Setting "
+            "this too low severely limits throughput under concurrent load; "
+            "setting it far above the core count can cause contention. A "
+            "significant performance factor for OLTP systems; tune to match "
+            "expected concurrency. Requires restart.",
+            expert_importance=0.9,
+            expert_range_hint=(0.5, 0.9),
+        ),
+        ManualEntry(
+            "flush_method",
+            "Method used to force WAL and data to disk. The default (fsync) is "
+            "the safest but slowest; O_DIRECT variants can significantly improve "
+            "write throughput on battery-backed or enterprise storage by "
+            "bypassing the OS cache. nosync is unsafe and should never be used "
+            "in production. Important for write-heavy workloads.",
+            expert_importance=0.85,
+        ),
+        ManualEntry(
+            "work_mem_mb",
+            "Memory used by internal sort operations and hash tables before "
+            "spilling to temporary disk files. Queries with large sorts or joins "
+            "benefit significantly from higher values, but note that several "
+            "sessions may each use this much memory. Important for analytical "
+            "workloads; a common performance bottleneck when left at the default.",
+            expert_importance=0.8,
+            expert_range_hint=(0.4, 0.9),
+        ),
+        ManualEntry(
+            "checkpoint_interval_s",
+            "Maximum time between automatic WAL checkpoints. Frequent checkpoints "
+            "add significant write amplification; very long intervals increase "
+            "crash-recovery time and can cause latency spikes. Tuning this "
+            "matters for update-heavy systems.",
+            expert_importance=0.6,
+            expert_range_hint=(0.5, 0.9),
+        ),
+        ManualEntry(
+            "wal_buffer_mb",
+            "The amount of shared memory used for WAL data not yet written to "
+            "disk. Values larger than the default can improve performance on "
+            "busy write-heavy servers, with diminishing returns past a few "
+            "dozen megabytes.",
+            expert_importance=0.4,
+            expert_range_hint=(0.4, 0.8),
+        ),
+        ManualEntry(
+            "io_concurrency",
+            "Number of concurrent disk I/O operations the server attempts to "
+            "issue. Raising this can improve performance for bitmap heap scans "
+            "on SSDs and striped storage.",
+            expert_importance=0.35,
+        ),
+        ManualEntry(
+            "parallel_workers",
+            "Maximum parallel workers per query. Analytical scans can improve "
+            "substantially with more workers, up to the number of cores.",
+            expert_importance=0.4,
+        ),
+        ManualEntry(
+            "jit",
+            "Enables just-in-time compilation of expressions. Can improve "
+            "performance of long-running analytical queries; adds compilation "
+            "overhead to short queries.",
+            expert_importance=0.3,
+            related=("jit_above_cost",),
+        ),
+        ManualEntry(
+            "jit_above_cost",
+            "Query cost above which JIT compilation is activated. Only relevant "
+            "when jit is enabled.",
+            expert_importance=0.2,
+            related=("jit",),
+        ),
+        ManualEntry(
+            "compression",
+            "Compresses table pages on disk. Trades CPU for I/O: can help on "
+            "slow storage with compressible data, can hurt on CPU-bound systems.",
+            expert_importance=0.25,
+        ),
+        ManualEntry(
+            "log_level",
+            "Controls the verbosity of the server log. Debug levels add "
+            "measurable overhead and are not recommended in production.",
+            expert_importance=0.15,
+        ),
+        ManualEntry(
+            "autovacuum_workers",
+            "Number of background vacuum workers. Too few lets dead tuples "
+            "accumulate on update-heavy tables; too many can interfere with "
+            "foreground work. Minor impact for most workloads.",
+            expert_importance=0.2,
+        ),
+        ManualEntry(
+            "random_page_cost",
+            "The planner's estimate of the cost of a non-sequential page fetch. "
+            "Lowering it toward 1.1 on SSD storage can improve plan quality for "
+            "index scans. Moderate impact.",
+            expert_importance=0.25,
+            expert_range_hint=(0.0, 0.3),
+        ),
+        ManualEntry(
+            "stats_target",
+            "Default statistics sampling target for the planner. Rarely needs "
+            "changing; the default is adequate for almost all workloads.",
+            expert_importance=0.05,
+        ),
+        ManualEntry(
+            "deadlock_timeout_ms",
+            "Time to wait on a lock before checking for deadlock. Rarely needs "
+            "changing; has no effect on performance in the absence of lock "
+            "contention pathologies.",
+            expert_importance=0.02,
+        ),
+        ManualEntry(
+            "tcp_keepalive_s",
+            "Interval between TCP keepalive probes on idle client connections. "
+            "No effect on query performance; purely a connection-liveness "
+            "setting.",
+            expert_importance=0.0,
+        ),
+        ManualEntry(
+            "cursor_tuple_fraction",
+            "Planner estimate of the fraction of a cursor's rows that will be "
+            "retrieved. Rarely needs changing outside unusual cursor-heavy "
+            "applications.",
+            expert_importance=0.02,
+        ),
+        ManualEntry(
+            "geqo_threshold",
+            "Number of FROM items above which the genetic query optimizer is "
+            "used. Rarely needs changing; only affects planning of very large "
+            "join queries.",
+            expert_importance=0.02,
+        ),
+        ManualEntry(
+            "bgwriter_delay_ms",
+            "Delay between background writer rounds. The default is adequate "
+            "for almost all workloads; minor effect on checkpoint smoothing.",
+            expert_importance=0.05,
+        ),
+        ManualEntry(
+            "temp_buffers_mb",
+            "Memory for temporary tables per session. Only matters for "
+            "applications making heavy use of temporary tables.",
+            expert_importance=0.05,
+        ),
+    ]
+}

@@ -1,0 +1,30 @@
+"""Online tuning: agents, RL policies, GAs, hybrid bandits, safety."""
+
+from .actor_critic import ActorCriticTuner
+from .agent import OnlinePolicy, OnlineResult, OnlineStepRecord, OnlineTuningAgent
+from .contextual import ContextualBOTuner, StaticConfigPolicy
+from .genetic import GeneticAlgorithmOptimizer, GeneticOnlineTuner
+from .greedy import GreedyOnlineTuner
+from .hybrid import HybridBanditTuner
+from .proactive import ProactiveForecastTuner
+from .qlearning import QLearningTuner
+from .safety import Guardrail, GuardrailVerdict, SafeBayesianOptimizer
+
+__all__ = [
+    "ActorCriticTuner",
+    "OnlinePolicy",
+    "OnlineResult",
+    "OnlineStepRecord",
+    "OnlineTuningAgent",
+    "ContextualBOTuner",
+    "StaticConfigPolicy",
+    "GeneticAlgorithmOptimizer",
+    "GeneticOnlineTuner",
+    "GreedyOnlineTuner",
+    "HybridBanditTuner",
+    "ProactiveForecastTuner",
+    "QLearningTuner",
+    "Guardrail",
+    "GuardrailVerdict",
+    "SafeBayesianOptimizer",
+]

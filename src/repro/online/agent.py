@@ -1,0 +1,190 @@
+"""The online tuning loop: an agent observing and adjusting production.
+
+"Use an 'agent' to continually observe and adjust the system" (deployment
+slide). The agent architecture follows slide 78: an **external** side-car
+that monitors the target and applies actions through its exposed hooks;
+policies are pluggable (RL, GA, bandits — :mod:`repro.online`).
+
+Each step: read the current workload from a trace, let the policy propose a
+configuration, run the system, convert the measured metric into a reward,
+feed it back, and let the guardrail veto/rollback regressions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import Objective
+from ..exceptions import ReproError, SystemCrashError
+from ..space import Configuration
+from ..sysim.system import SimulatedSystem
+from ..workloads import WorkloadTrace
+from .safety import Guardrail
+
+__all__ = ["OnlinePolicy", "OnlineTuningAgent", "OnlineStepRecord", "OnlineResult"]
+
+
+class OnlinePolicy(ABC):
+    """A policy that proposes configurations and learns from rewards."""
+
+    @abstractmethod
+    def propose(self, observation: np.ndarray) -> Configuration:
+        """Next configuration given the current observation vector."""
+
+    @abstractmethod
+    def feedback(self, observation: np.ndarray, config: Configuration, reward: float) -> None:
+        """Learn from the reward of the configuration just applied.
+
+        Rewards are normalised "higher is better" values.
+        """
+
+
+@dataclass
+class OnlineStepRecord:
+    """One step of the online loop."""
+
+    step: int
+    workload_name: str
+    config: Configuration
+    value: float  # raw objective metric
+    reward: float
+    crashed: bool = False
+    rolled_back: bool = False
+
+
+@dataclass
+class OnlineResult:
+    """Full trace of an online tuning run."""
+
+    records: list[OnlineStepRecord] = field(default_factory=list)
+
+    def values(self) -> np.ndarray:
+        return np.array([r.value for r in self.records])
+
+    def cumulative_regret(self, oracle_values: np.ndarray, minimize: bool = True) -> np.ndarray:
+        """Cumulative regret against per-step oracle values."""
+        values = self.values()
+        if len(oracle_values) != len(values):
+            raise ReproError("oracle series length mismatch")
+        inst = values - oracle_values if minimize else oracle_values - values
+        return np.cumsum(np.maximum(inst, 0.0))
+
+    def regression_steps(self, baseline_values: np.ndarray, tolerance: float = 0.1, minimize: bool = True) -> int:
+        """How many steps performed worse than baseline by > tolerance.
+
+        The guardrail quality metric of slide 84.
+        """
+        values = self.values()
+        if len(baseline_values) != len(values):
+            raise ReproError("baseline series length mismatch")
+        if minimize:
+            return int(np.sum(values > baseline_values * (1.0 + tolerance)))
+        return int(np.sum(values < baseline_values * (1.0 - tolerance)))
+
+
+class OnlineTuningAgent:
+    """Drives an :class:`OnlinePolicy` against a system and workload trace.
+
+    Parameters
+    ----------
+    system:
+        The production system (simulated).
+    policy:
+        The learning policy.
+    objective:
+        Metric and direction; rewards are its negated, scale-normalised score.
+    guardrail:
+        Optional safety monitor; on violation the agent rolls back to the
+        last safe configuration and penalises the policy.
+    observe:
+        Maps (workload, last measurement metrics) to the observation vector
+        the policy sees. Defaults to observable load features only — the
+        agent cannot read the workload's ground truth.
+    """
+
+    def __init__(
+        self,
+        system: SimulatedSystem,
+        policy: OnlinePolicy,
+        objective: Objective,
+        guardrail: Guardrail | None = None,
+        duration_s: float = 60.0,
+        observe=None,
+    ) -> None:
+        self.system = system
+        self.policy = policy
+        self.objective = objective
+        self.guardrail = guardrail
+        self.duration_s = duration_s
+        self._observe = observe if observe is not None else self._default_observation
+        self._last_metrics: dict[str, float] = {}
+        self._safe_config = system.current_config
+        self._reward_scale: float | None = None
+
+    @staticmethod
+    def _default_observation(workload, last_metrics: dict[str, float]) -> np.ndarray:
+        return np.array(
+            [
+                np.log10(workload.concurrency + 1.0) / 3.0,
+                workload.read_fraction,
+                workload.scan_fraction,
+                last_metrics.get("cpu_util", 0.0),
+                last_metrics.get("mem_util", 0.0),
+                last_metrics.get("io_util", 0.0),
+            ]
+        )
+
+    def _reward(self, value: float) -> float:
+        """Delta-performance reward (the CDBTune convention).
+
+        Positive when the step beat the recent average, negative when it
+        regressed — an informative, scale-free signal even when the raw
+        metric drifts with the workload.
+        """
+        score = self.objective.score(value)
+        if self._reward_scale is None:
+            self._reward_scale = score
+            return 0.0
+        ema = self._reward_scale
+        reward = float(np.clip((ema - score) / (abs(ema) + 1e-12), -2.0, 2.0))
+        self._reward_scale = 0.9 * ema + 0.1 * score
+        return reward
+
+    def run(self, trace: WorkloadTrace) -> OnlineResult:
+        result = OnlineResult()
+        for step in range(len(trace)):
+            workload = trace.at(step)
+            obs = self._observe(workload, self._last_metrics)
+            config = self.policy.propose(obs)
+            crashed = rolled_back = False
+            try:
+                measurement = self.system.run(workload, duration_s=self.duration_s, config=config)
+                value = measurement.metric(self.objective.name)
+                self._last_metrics = measurement.metrics()
+            except SystemCrashError:
+                crashed = True
+                # Production pain: a crash step delivers the worst value seen.
+                prior = [r.value for r in result.records if not r.crashed]
+                value = (
+                    max(prior) if self.objective.minimize else min(prior)
+                ) if prior else (1e6 if self.objective.minimize else 0.0)
+                self.system.apply(self._safe_config)
+            # A crash gets a flat, strongly negative reward: the policy must
+            # learn the region is off-limits regardless of the metric scale.
+            reward = -2.0 if crashed else self._reward(value)
+            if self.guardrail is not None and not crashed:
+                verdict = self.guardrail.check(self.objective.score(value))
+                if verdict.violated:
+                    self.system.apply(self._safe_config)
+                    rolled_back = True
+                    reward -= verdict.penalty
+                elif verdict.is_safe_point:
+                    self._safe_config = config
+            self.policy.feedback(obs, config, reward)
+            result.records.append(
+                OnlineStepRecord(step, workload.name, config, float(value), float(reward), crashed, rolled_back)
+            )
+        return result

@@ -1,0 +1,146 @@
+"""Genetic-algorithm tuning (HUNTER's engine, slide 81).
+
+A steady population of configurations evolves by tournament selection,
+uniform crossover, and neighbourhood mutation. Usable two ways:
+
+* as a plain ask/tell :class:`GeneticAlgorithmOptimizer` (offline), and
+* as an :class:`OnlinePolicy` (:class:`GeneticOnlineTuner`) that evaluates
+  one individual per production step — HUNTER's hybrid pattern of trying
+  candidates on cloned instances maps to evaluating them on successive
+  steps here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import Objective, Optimizer, Trial
+from ..exceptions import OptimizerError
+from ..space import Configuration, ConfigurationSpace
+from .agent import OnlinePolicy
+
+__all__ = ["GeneticAlgorithmOptimizer", "GeneticOnlineTuner"]
+
+
+class GeneticAlgorithmOptimizer(Optimizer):
+    """Generational GA over configurations.
+
+    Parameters
+    ----------
+    population_size:
+        Individuals per generation.
+    elite_fraction:
+        Top fraction copied unchanged into the next generation.
+    mutation_rate:
+        Per-individual probability of a mutation after crossover.
+    tournament:
+        Tournament size for parent selection.
+    """
+
+    #: Observations are matched to suggestions by queue order, so
+    #: foreign observations would corrupt the population state.
+    accepts_foreign_observations = False
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        population_size: int = 12,
+        elite_fraction: float = 0.25,
+        mutation_rate: float = 0.3,
+        mutation_scale: float = 0.15,
+        tournament: int = 3,
+        objectives: Objective | list[Objective] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(space, objectives, seed=seed)
+        if population_size < 4:
+            raise OptimizerError(f"population_size must be >= 4, got {population_size}")
+        if not 0.0 < elite_fraction < 1.0:
+            raise OptimizerError(f"elite_fraction must be in (0, 1), got {elite_fraction}")
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise OptimizerError(f"mutation_rate must be in [0, 1], got {mutation_rate}")
+        self.population_size = int(population_size)
+        self.elite_fraction = float(elite_fraction)
+        self.mutation_rate = float(mutation_rate)
+        self.mutation_scale = float(mutation_scale)
+        self.tournament = max(2, int(tournament))
+        self._population: list[Configuration] = [space.sample(self.rng) for _ in range(self.population_size)]
+        self._scores: list[float | None] = [None] * self.population_size
+        self._cursor = 0
+        self._pending: list[int] = []
+        self.generation = 0
+
+    # -- genetic operators -----------------------------------------------------
+    def _crossover(self, a: Configuration, b: Configuration) -> Configuration:
+        values = {}
+        for name in self.space.names:
+            values[name] = a[name] if self.rng.random() < 0.5 else b[name]
+        try:
+            return self.space.make(values)
+        except Exception:
+            return a  # infeasible child: keep a parent
+
+    def _mutate(self, config: Configuration) -> Configuration:
+        if self.rng.random() >= self.mutation_rate:
+            return config
+        return self.space.neighbor(config, self.rng, scale=self.mutation_scale)
+
+    def _tournament_pick(self, scored: list[tuple[float, Configuration]]) -> Configuration:
+        contenders = [scored[int(self.rng.integers(len(scored)))] for _ in range(self.tournament)]
+        return min(contenders)[1]
+
+    def _evolve(self) -> None:
+        scored = sorted(
+            [(s, c) for s, c in zip(self._scores, self._population) if s is not None],
+            key=lambda pair: pair[0],
+        )
+        if len(scored) < 2:
+            return
+        n_elite = max(1, int(self.population_size * self.elite_fraction))
+        next_pop = [c for _, c in scored[:n_elite]]
+        while len(next_pop) < self.population_size:
+            child = self._crossover(self._tournament_pick(scored), self._tournament_pick(scored))
+            next_pop.append(self._mutate(child))
+        self._population = next_pop
+        self._scores = [None] * self.population_size
+        self._cursor = 0
+        self.generation += 1
+
+    # -- ask/tell -----------------------------------------------------------------
+    def _suggest(self) -> Configuration:
+        if self._cursor >= self.population_size:
+            self._evolve()
+        idx = self._cursor
+        self._cursor += 1
+        self._pending.append(idx)
+        return self._population[idx]
+
+    def _on_observe(self, trial: Trial) -> None:
+        if not self._pending:
+            return
+        idx = self._pending.pop(0)
+        obj = self.objective
+        self._scores[idx] = obj.score(trial.metric(obj.name))
+
+
+def _sort_key(pair):  # pragma: no cover - trivial
+    return pair[0]
+
+
+class GeneticOnlineTuner(OnlinePolicy):
+    """Online wrapper: one individual evaluated per production step."""
+
+    def __init__(self, ga: GeneticAlgorithmOptimizer) -> None:
+        self.ga = ga
+        self._last: Configuration | None = None
+
+    def propose(self, observation: np.ndarray) -> Configuration:
+        self._last = self.ga.suggest(1)[0]
+        return self._last
+
+    def feedback(self, observation: np.ndarray, config: Configuration, reward: float) -> None:
+        if self._last is None:
+            return
+        # The GA minimises canonical scores; rewards are higher-better.
+        self.ga.observe(self._last, {self.ga.objective.name: self.ga.objective.unscore(-reward)})
+        self._last = None

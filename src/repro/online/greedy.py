@@ -1,0 +1,111 @@
+"""AutoSteer-style greedy online search (slide 81, slide 84).
+
+"AutoSteer: applies greedy search to incrementally improve configurations,
+balancing exploration & exploitation." The policy holds a current
+configuration, proposes single-knob moves, adopts a move when its measured
+reward beats the incumbent's running estimate, and reverts otherwise —
+cautious, explainable ("we changed exactly one knob and it helped"), and
+inherently regression-limited.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import OptimizerError
+from ..space import Configuration, ConfigurationSpace
+from .agent import OnlinePolicy
+
+__all__ = ["GreedyOnlineTuner"]
+
+
+class GreedyOnlineTuner(OnlinePolicy):
+    """Hill climbing with single-knob moves and revert-on-regression.
+
+    Parameters
+    ----------
+    step:
+        Unit-space move size per numeric-knob proposal.
+    patience:
+        Consecutive failed moves before the step size grows (escape
+        plateaus) — the "balancing exploration & exploitation" dial.
+    ema:
+        Smoothing for the incumbent's reward estimate.
+    """
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        knobs: Sequence[str] | None = None,
+        step: float = 0.1,
+        patience: int = 6,
+        ema: float = 0.5,
+        seed: int | None = None,
+    ) -> None:
+        if not 0.0 < step <= 0.5:
+            raise OptimizerError(f"step must be in (0, 0.5], got {step}")
+        if patience < 1:
+            raise OptimizerError(f"patience must be >= 1, got {patience}")
+        self.space = space
+        self.knobs = list(knobs) if knobs is not None else list(space.names)
+        for k in self.knobs:
+            if k not in space:
+                raise OptimizerError(f"unknown knob {k!r}")
+        self.step = float(step)
+        self.base_step = float(step)
+        self.patience = int(patience)
+        self.ema = float(ema)
+        self.rng = np.random.default_rng(seed)
+        self.current = space.default_configuration()
+        self._current_reward: float | None = None
+        self._pending: Configuration | None = None
+        self._fails = 0
+        self.moves_adopted = 0
+        self.moves_reverted = 0
+
+    def _propose_move(self) -> Configuration:
+        name = self.knobs[int(self.rng.integers(len(self.knobs)))]
+        param = self.space[name]
+        values = self.current.as_dict()
+        if param.is_numeric:
+            u = param.to_unit(values[name]) + float(self.rng.choice([-1.0, 1.0])) * self.step
+            values[name] = param.from_unit(float(np.clip(u, 0.0, 1.0)))
+        else:
+            values[name] = param.neighbor(values[name], self.rng)
+        try:
+            return self.space.make(values)
+        except Exception:
+            return self.current
+
+    def propose(self, observation: np.ndarray) -> Configuration:
+        # Alternate: re-measure the incumbent, then try one move.
+        if self._current_reward is None or self._pending is not None:
+            self._pending = None
+            return self.current
+        self._pending = self._propose_move()
+        return self._pending
+
+    def feedback(self, observation: np.ndarray, config: Configuration, reward: float) -> None:
+        if self._pending is None or config != self._pending:
+            # Incumbent measurement: update its running estimate.
+            if self._current_reward is None:
+                self._current_reward = reward
+            else:
+                self._current_reward = self.ema * self._current_reward + (1 - self.ema) * reward
+            return
+        # Verdict on the attempted move.
+        if reward > self._current_reward:
+            self.current = self._pending
+            self._current_reward = reward
+            self._fails = 0
+            self.step = self.base_step
+            self.moves_adopted += 1
+        else:
+            self._fails += 1
+            self.moves_reverted += 1
+            if self._fails >= self.patience:
+                self.step = min(0.5, self.step * 2.0)  # widen the search
+                self._fails = 0
+        self._pending = None

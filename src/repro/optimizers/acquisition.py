@@ -1,0 +1,134 @@
+"""Acquisition functions — "pick the most interesting point to evaluate".
+
+Implements the tutorial's slide 47 list for *minimization* problems (the
+library's canonical direction): Probability of Improvement, Expected
+Improvement ("takes the magnitude of improvement into account!"), and the
+confidence bound ("in our case, Lower Confidence Bound: LCB = m(x) − βσ(x)",
+with β controlling explore/exploit), plus the cost-aware EI used by
+multi-fidelity optimization.
+
+All functions return values to **maximise** over candidates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+from scipy import stats
+
+from ..exceptions import OptimizerError
+
+__all__ = [
+    "AcquisitionFunction",
+    "ProbabilityOfImprovement",
+    "ExpectedImprovement",
+    "LowerConfidenceBound",
+    "CostAwareEI",
+    "ThompsonSampling",
+]
+
+
+class AcquisitionFunction(ABC):
+    """Scores candidate points given posterior mean/std and the incumbent."""
+
+    @abstractmethod
+    def __call__(self, mean: np.ndarray, std: np.ndarray, best: float) -> np.ndarray:
+        """Higher = more worth evaluating. ``best`` is the incumbent score."""
+
+    @staticmethod
+    def _validate(mean: np.ndarray, std: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        mean = np.asarray(mean, dtype=float)
+        std = np.asarray(std, dtype=float)
+        if mean.shape != std.shape:
+            raise OptimizerError(f"mean/std shapes differ: {mean.shape} vs {std.shape}")
+        return mean, np.maximum(std, 1e-12)
+
+
+class ProbabilityOfImprovement(AcquisitionFunction):
+    """PI(x) = P(f(x) < best − ξ). Cheap but greedy — ignores magnitude."""
+
+    def __init__(self, xi: float = 0.01) -> None:
+        if xi < 0:
+            raise OptimizerError(f"xi must be >= 0, got {xi}")
+        self.xi = float(xi)
+
+    def __call__(self, mean: np.ndarray, std: np.ndarray, best: float) -> np.ndarray:
+        mean, std = self._validate(mean, std)
+        z = (best - self.xi - mean) / std
+        return stats.norm.cdf(z)
+
+
+class ExpectedImprovement(AcquisitionFunction):
+    """EI(x) = E[max(best − f(x), 0)] — the default BO acquisition."""
+
+    def __init__(self, xi: float = 0.01) -> None:
+        if xi < 0:
+            raise OptimizerError(f"xi must be >= 0, got {xi}")
+        self.xi = float(xi)
+
+    def __call__(self, mean: np.ndarray, std: np.ndarray, best: float) -> np.ndarray:
+        mean, std = self._validate(mean, std)
+        delta = best - self.xi - mean
+        z = delta / std
+        return delta * stats.norm.cdf(z) + std * stats.norm.pdf(z)
+
+
+class LowerConfidenceBound(AcquisitionFunction):
+    """−LCB(x) = −(m(x) − βσ(x)); β ≥ 0 trades exploration for exploitation.
+
+    β = 0 is pure exploitation (trust the mean); large β chases uncertainty.
+    """
+
+    def __init__(self, beta: float = 2.0) -> None:
+        if beta < 0:
+            raise OptimizerError(f"beta must be >= 0, got {beta}")
+        self.beta = float(beta)
+
+    def __call__(self, mean: np.ndarray, std: np.ndarray, best: float) -> np.ndarray:
+        mean, std = self._validate(mean, std)
+        return -(mean - self.beta * std)
+
+
+class CostAwareEI(AcquisitionFunction):
+    """EI per unit cost — slide 65's "cost-adjusted Expected Improvement".
+
+    ``costs`` must be set (or passed per-call) to the evaluation cost of each
+    candidate; cheap-but-informative points win.
+    """
+
+    def __init__(self, xi: float = 0.01, costs: np.ndarray | None = None) -> None:
+        self._ei = ExpectedImprovement(xi)
+        self.costs = None if costs is None else np.asarray(costs, dtype=float)
+
+    def __call__(
+        self,
+        mean: np.ndarray,
+        std: np.ndarray,
+        best: float,
+        costs: np.ndarray | None = None,
+    ) -> np.ndarray:
+        ei = self._ei(mean, std, best)
+        costs = self.costs if costs is None else np.asarray(costs, dtype=float)
+        if costs is None:
+            raise OptimizerError("CostAwareEI needs candidate costs")
+        if costs.shape != ei.shape:
+            raise OptimizerError(f"costs shape {costs.shape} != candidates {ei.shape}")
+        if np.any(costs <= 0):
+            raise OptimizerError("candidate costs must be positive")
+        return ei / costs
+
+
+class ThompsonSampling(AcquisitionFunction):
+    """Posterior-sample acquisition: score = −(one draw from N(m, σ²)).
+
+    Matches the multi-armed-bandit view on slide 51 — selection by sampling
+    the model rather than a closed-form utility.
+    """
+
+    def __init__(self, rng: np.random.Generator | None = None) -> None:
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def __call__(self, mean: np.ndarray, std: np.ndarray, best: float) -> np.ndarray:
+        mean, std = self._validate(mean, std)
+        return -self.rng.normal(mean, std)

@@ -1,0 +1,73 @@
+"""Optimizing through a space adapter (LlamaTune-style pipelines).
+
+:class:`ProjectedOptimizer` exposes the *target* space to the tuning
+session while internally driving any optimizer over the adapter's smaller
+*adapted* space. Observations are routed back through the pending-
+suggestion queue so the inner model trains on the latent points it
+actually proposed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core import Objective, Optimizer, Trial, TrialStatus
+from ..exceptions import OptimizerError
+from ..space import Configuration
+from ..space.adapters import SpaceAdapter
+
+__all__ = ["ProjectedOptimizer"]
+
+
+class ProjectedOptimizer(Optimizer):
+    """Tune a big space by searching a small adapted one.
+
+    Parameters
+    ----------
+    adapter:
+        Maps adapted-space points into the target space (e.g.
+        :class:`~repro.space.adapters.LlamaTuneAdapter`).
+    inner_factory:
+        Builds the optimizer over ``adapter.adapted_space`` (e.g.
+        ``lambda s: BayesianOptimizer(s, seed=0)``).
+    """
+
+    def __init__(
+        self,
+        adapter: SpaceAdapter,
+        inner_factory: Callable[..., Optimizer],
+        objectives: Objective | list[Objective] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(adapter.target_space, objectives, seed=seed)
+        self.adapter = adapter
+        self.inner = inner_factory(adapter.adapted_space)
+        # FIFO of latent points whose projections are awaiting observation.
+        self._pending: list[tuple[Configuration, Configuration]] = []
+
+    def _suggest(self) -> Configuration:
+        latent = self.inner.suggest(1)[0]
+        target = self.adapter.project(latent)
+        self._pending.append((latent, target))
+        return target
+
+    def _match_latent(self, target: Configuration) -> Configuration | None:
+        for i, (latent, projected) in enumerate(self._pending):
+            if projected == target:
+                del self._pending[i]
+                return latent
+        return None
+
+    def _on_observe(self, trial: Trial) -> None:
+        latent = self._match_latent(trial.config)
+        if latent is None:
+            # Observation for a config we did not project (e.g. warm start):
+            # the latent optimizer cannot learn from it.
+            return
+        if trial.status is TrialStatus.SUCCEEDED:
+            self.inner.observe(latent, trial.metrics, cost=trial.cost)
+        else:
+            self.inner.observe(latent, trial.metrics, cost=trial.cost, status=trial.status)
+
+    def _on_observe_failure(self, trial: Trial) -> None:
+        self._on_observe(trial)

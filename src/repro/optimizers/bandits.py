@@ -1,0 +1,136 @@
+"""Multi-armed bandits over finite configuration sets.
+
+Slide 51 notes that bandits are a natural fit for discrete knobs because
+"AFs like UCB and EI do not require sampling from posterior". Arms are
+configurations (supplied, or sampled once up front); policies are
+ε-greedy, UCB1, and Gaussian Thompson sampling. These are also the
+building block for OPPerTune-style hybrid online tuners
+(:mod:`repro.online.hybrid`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..core import Objective, Optimizer, Trial
+from ..exceptions import OptimizerError
+from ..space import Configuration, ConfigurationSpace
+
+__all__ = ["MultiArmedBanditOptimizer", "BanditArmStats"]
+
+
+class BanditArmStats:
+    """Running reward statistics of one arm (Welford updates)."""
+
+    __slots__ = ("pulls", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.pulls = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, reward: float) -> None:
+        self.pulls += 1
+        delta = reward - self.mean
+        self.mean += delta / self.pulls
+        self._m2 += delta * (reward - self.mean)
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.pulls - 1) if self.pulls > 1 else 1.0
+
+
+class MultiArmedBanditOptimizer(Optimizer):
+    """Bandit over a finite arm set of configurations.
+
+    Rewards are the *negated canonical scores* (so better metric = higher
+    reward) normalised by a running scale, making policies robust to the
+    objective's units.
+
+    Parameters
+    ----------
+    arms:
+        Explicit configurations to choose among; when None, ``n_arms``
+        random feasible configurations are drawn once.
+    policy:
+        "epsilon" | "ucb1" | "thompson".
+    epsilon:
+        Exploration rate for the ε-greedy policy.
+    ucb_c:
+        Exploration weight for UCB1.
+    """
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        arms: Sequence[Configuration] | None = None,
+        n_arms: int = 16,
+        policy: str = "ucb1",
+        epsilon: float = 0.1,
+        ucb_c: float = 2.0,
+        objectives: Objective | list[Objective] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(space, objectives, seed=seed)
+        if policy not in ("epsilon", "ucb1", "thompson"):
+            raise OptimizerError(f"unknown policy {policy!r}")
+        if not 0.0 <= epsilon <= 1.0:
+            raise OptimizerError(f"epsilon must be in [0, 1], got {epsilon}")
+        self.arms = list(arms) if arms is not None else [space.sample(self.rng) for _ in range(n_arms)]
+        if len(self.arms) < 2:
+            raise OptimizerError("need at least 2 arms")
+        self.policy = policy
+        self.epsilon = float(epsilon)
+        self.ucb_c = float(ucb_c)
+        self.stats = [BanditArmStats() for _ in self.arms]
+        self._arm_of: dict[Configuration, int] = {a: i for i, a in enumerate(self.arms)}
+        self._scale = 1.0
+
+    @property
+    def total_pulls(self) -> int:
+        return sum(s.pulls for s in self.stats)
+
+    def _select_arm(self) -> int:
+        # Pull every arm once first.
+        for i, s in enumerate(self.stats):
+            if s.pulls == 0:
+                return i
+        if self.policy == "epsilon":
+            if self.rng.random() < self.epsilon:
+                return int(self.rng.integers(len(self.arms)))
+            return int(np.argmax([s.mean for s in self.stats]))
+        if self.policy == "ucb1":
+            total = self.total_pulls
+            ucb = [
+                s.mean + self.ucb_c * math.sqrt(math.log(total) / s.pulls)
+                for s in self.stats
+            ]
+            return int(np.argmax(ucb))
+        # Gaussian Thompson sampling.
+        draws = [
+            self.rng.normal(s.mean, math.sqrt(s.variance / s.pulls))
+            for s in self.stats
+        ]
+        return int(np.argmax(draws))
+
+    def _suggest(self) -> Configuration:
+        return self.arms[self._select_arm()]
+
+    def _on_observe(self, trial: Trial) -> None:
+        idx = self._arm_of.get(trial.config)
+        if idx is None:
+            return  # observation for a non-arm config (e.g. warm start)
+        obj = self.objective
+        score = obj.score(trial.metric(obj.name))
+        self._scale = max(self._scale * 0.99, abs(score), 1e-9)
+        self.stats[idx].update(-score / self._scale)
+
+    def best_arm(self) -> Configuration:
+        """Arm with the best empirical mean reward."""
+        pulled = [(s.mean, i) for i, s in enumerate(self.stats) if s.pulls > 0]
+        if not pulled:
+            raise OptimizerError("no arm has been pulled yet")
+        return self.arms[max(pulled)[1]]

@@ -1,0 +1,163 @@
+"""Bayesian optimization — sequential model-based optimization (slide 33).
+
+1. Evaluate the expensive function f(xᵢ);
+2. update the statistical model M with (xᵢ, f(xᵢ));
+3. pick x_{i+1} = argmax AF(M, x);
+4. repeat.
+
+The surrogate is a GP over encoded configurations; acquisition optimization
+uses a candidate set (global random samples + local perturbations of the
+incumbent) because the encoded space is a mixed discrete/continuous box.
+Batch suggestions use the constant-liar trick for diversity (slide 57).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import Objective, Optimizer, Trial
+from ..exceptions import OptimizerError
+from ..space import Configuration, ConfigurationSpace
+from ..space.encoding import OneHotEncoder, OrdinalEncoder, SpaceEncoder
+from .acquisition import AcquisitionFunction, ExpectedImprovement
+from .gp import GaussianProcessRegressor, default_kernel
+
+__all__ = ["BayesianOptimizer"]
+
+
+class BayesianOptimizer(Optimizer):
+    """GP-based Bayesian optimization over a configuration space.
+
+    Parameters
+    ----------
+    space:
+        The knobs to tune.
+    n_init:
+        Random (prior-guided) probes before the model takes over.
+    acquisition:
+        Acquisition function; Expected Improvement by default.
+    encoding:
+        "ordinal" (one dim/knob) or "onehot" (one dim per category) —
+        the discrete/hybrid handling choices from slide 51.
+    n_candidates:
+        Candidate-set size for acquisition maximisation.
+    refit_every:
+        Re-optimise GP hyperparameters every k-th trial (conditioning on new
+        data happens every trial regardless).
+    """
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        n_init: int = 8,
+        acquisition: AcquisitionFunction | None = None,
+        encoding: str = "ordinal",
+        n_candidates: int = 512,
+        refit_every: int = 4,
+        objectives: Objective | list[Objective] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(space, objectives, seed=seed)
+        if n_init < 1:
+            raise OptimizerError(f"n_init must be >= 1, got {n_init}")
+        if n_candidates < 2:
+            raise OptimizerError(f"n_candidates must be >= 2, got {n_candidates}")
+        self.n_init = int(n_init)
+        self.acquisition = acquisition if acquisition is not None else ExpectedImprovement()
+        self.encoder = self._make_encoder(encoding, space)
+        self.n_candidates = int(n_candidates)
+        self.refit_every = max(1, int(refit_every))
+        self.model = GaussianProcessRegressor(
+            kernel=default_kernel(self.encoder.n_features), seed=seed
+        )
+        self._model_stale = True
+        self._fit_count = 0
+        # Constant-liar state for batch suggestions.
+        self._lies: list[np.ndarray] = []
+
+    @staticmethod
+    def _make_encoder(encoding: str, space: ConfigurationSpace) -> SpaceEncoder:
+        if encoding == "ordinal":
+            return OrdinalEncoder(space)
+        if encoding == "onehot":
+            return OneHotEncoder(space)
+        raise OptimizerError(f"encoding must be 'ordinal' or 'onehot', got {encoding!r}")
+
+    # -- training data ---------------------------------------------------------
+    def _training_data(self) -> tuple[np.ndarray, np.ndarray]:
+        # Failed trials enter with live-imputed penalty scores: the model
+        # must learn where the crash region is, on the current y-scale.
+        trials, y = self.history.training_data(self.objective, self.crash_penalty_factor)
+        X = self.encoder.encode_many([t.config for t in trials])
+        if self._lies:
+            X = np.vstack([X, np.stack(self._lies)]) if len(X) else np.stack(self._lies)
+            lie_value = float(y.min()) if len(y) else 0.0
+            y = np.concatenate([y, np.full(len(self._lies), lie_value)])
+        return X, y
+
+    def _ensure_model(self) -> None:
+        X, y = self._training_data()
+        if len(X) == 0:
+            return
+        self.model.optimize_hypers = (self._fit_count % self.refit_every == 0)
+        self.model.fit(X, y)
+        self._fit_count += 1
+        self._model_stale = False
+
+    # -- candidate generation --------------------------------------------------------
+    def _candidates(self) -> list[Configuration]:
+        n_global = int(self.n_candidates * 0.7)
+        cands = [self.space.sample(self.rng) for _ in range(n_global)]
+        try:
+            best = self.history.best().config
+        except OptimizerError:
+            best = None
+        if best is not None:
+            n_local = self.n_candidates - n_global
+            for _ in range(n_local):
+                scale = float(self.rng.choice([0.02, 0.05, 0.15]))
+                cands.append(self.space.neighbor(best, self.rng, scale=scale))
+        return cands
+
+    # -- suggest ---------------------------------------------------------------------
+    def _suggest(self) -> Configuration:
+        n_done = len(self.history.completed())
+        if n_done < self.n_init:
+            return self.space.sample(self.rng)
+        if self._model_stale or self._lies:
+            self._ensure_model()
+        if not self.model.is_fitted:
+            return self.space.sample(self.rng)
+        cands = self._candidates()
+        X = self.encoder.encode_many(cands)
+        mean, std = self.model.predict(X, return_std=True)
+        best_score = float(self.history.scores().min())
+        scores = self.acquisition(mean, std, best_score)
+        return cands[int(np.argmax(scores))]
+
+    def suggest(self, n: int = 1) -> list[Configuration]:
+        """Batch suggestion with constant-liar fantasies for diversity."""
+        if n == 1:
+            return [self._suggest()]
+        out: list[Configuration] = []
+        try:
+            for _ in range(n):
+                config = self._suggest()
+                out.append(config)
+                self._lies.append(self.encoder.encode(config))
+                self._model_stale = True
+        finally:
+            self._lies.clear()
+            self._model_stale = True
+        return out
+
+    def _on_observe(self, trial: Trial) -> None:
+        self._model_stale = True
+
+    # -- introspection --------------------------------------------------------------------
+    def surrogate_prediction(self, configs: list[Configuration]) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean/std at given configs (for plots and safety checks)."""
+        if self._model_stale:
+            self._ensure_model()
+        X = self.encoder.encode_many(configs)
+        return self.model.predict(X, return_std=True)

@@ -1,0 +1,149 @@
+"""Constrained Bayesian optimization — the SCBO idea (slide 60).
+
+"SCBO: Eriksson & Poloczek (2021), Scalable constrained Bayesian
+optimization — supports black-box constraints!"
+
+The target returns, besides the objective, one or more *constraint
+metrics* whose feasible region is ``value <= 0`` (canonical form). Each
+constraint gets its own GP; candidates are scored by
+
+    EI(x) × Π_i P(c_i(x) <= 0)
+
+— expected improvement weighted by the probability of feasibility (the
+classical Gardner/Gelbart formulation SCBO builds on). Crashes count as
+maximally infeasible observations, so even "the system refuses to start"
+black-box constraints are learnable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from ..core import Objective, Optimizer, Trial
+from ..exceptions import OptimizerError
+from ..space import Configuration, ConfigurationSpace
+from ..space.encoding import OrdinalEncoder
+from .acquisition import ExpectedImprovement
+from .gp import GaussianProcessRegressor, default_kernel
+
+__all__ = ["ConstrainedBayesianOptimizer"]
+
+
+class ConstrainedBayesianOptimizer(Optimizer):
+    """GP-EI weighted by the modelled probability of feasibility.
+
+    Parameters
+    ----------
+    constraint_metrics:
+        Names of metrics the evaluator reports; feasible iff <= 0. E.g.
+        report ``{"latency": ..., "mem_overrun_mb": used - budget}``.
+    crash_constraint_value:
+        Constraint value recorded for crashed trials (strongly infeasible).
+    feasibility_weight_floor:
+        Lower bound on the feasibility weight, so EI information is never
+        fully erased in unexplored regions.
+    """
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        constraint_metrics: list[str],
+        n_init: int = 8,
+        n_candidates: int = 512,
+        crash_constraint_value: float = 1.0,
+        feasibility_weight_floor: float = 1e-6,
+        objectives: Objective | list[Objective] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(space, objectives, seed=seed)
+        if not constraint_metrics:
+            raise OptimizerError("need at least one constraint metric")
+        if n_init < 1:
+            raise OptimizerError(f"n_init must be >= 1, got {n_init}")
+        self.constraint_metrics = list(constraint_metrics)
+        self.n_init = int(n_init)
+        self.n_candidates = int(n_candidates)
+        self.crash_constraint_value = float(crash_constraint_value)
+        self.feasibility_weight_floor = float(feasibility_weight_floor)
+        self.encoder = OrdinalEncoder(space)
+        self.objective_model = GaussianProcessRegressor(
+            kernel=default_kernel(self.encoder.n_features), seed=seed
+        )
+        self.constraint_models = {
+            name: GaussianProcessRegressor(kernel=default_kernel(self.encoder.n_features), seed=seed)
+            for name in self.constraint_metrics
+        }
+        self.acquisition = ExpectedImprovement()
+        self._stale = True
+
+    # -- data -----------------------------------------------------------------
+    def _rows(self) -> list[Trial]:
+        return [t for t in self.history if t.metrics]
+
+    def feasible_trials(self) -> list[Trial]:
+        """Completed trials satisfying every observed constraint."""
+        out = []
+        for t in self.history.completed():
+            values = [t.metrics.get(c) for c in self.constraint_metrics]
+            if all(v is not None and v <= 0 for v in values):
+                out.append(t)
+        return out
+
+    def _constraint_value(self, trial: Trial, name: str) -> float:
+        if trial.ok and name in trial.metrics:
+            return trial.metrics[name]
+        return self.crash_constraint_value  # crashed or missing: infeasible
+
+    def _fit(self) -> None:
+        trials, y = self.history.training_data(self.objective, self.crash_penalty_factor)
+        if not trials:
+            return
+        X = self.encoder.encode_many([t.config for t in trials])
+        self.objective_model.fit(X, y)
+        for name, model in self.constraint_models.items():
+            cv = np.array([self._constraint_value(t, name) for t in trials])
+            model.fit(X, cv)
+        self._stale = False
+
+    # -- suggest --------------------------------------------------------------
+    def _suggest(self) -> Configuration:
+        if len(self.history.completed()) < self.n_init:
+            return self.space.sample(self.rng)
+        if self._stale:
+            self._fit()
+        if not self.objective_model.is_fitted:
+            return self.space.sample(self.rng)
+        cands = [self.space.sample(self.rng) for _ in range(self.n_candidates)]
+        X = self.encoder.encode_many(cands)
+        mean, std = self.objective_model.predict(X, return_std=True)
+        feasible = self.feasible_trials()
+        if feasible:
+            best = min(
+                self.objective.score(t.metric(self.objective.name)) for t in feasible
+            )
+            ei = self.acquisition(mean, std, best)
+        else:
+            # No feasible point yet: chase feasibility alone.
+            ei = np.ones(len(cands))
+        weight = np.ones(len(cands))
+        for model in self.constraint_models.values():
+            c_mean, c_std = model.predict(X, return_std=True)
+            weight *= stats.norm.cdf(-c_mean / np.maximum(c_std, 1e-12))
+        scores = ei * weight
+        if scores.max() <= self.feasibility_weight_floor:
+            # Nothing both promising and plausibly feasible: chase the most
+            # plausibly feasible point instead of a confident violation.
+            return cands[int(np.argmax(weight))]
+        return cands[int(np.argmax(scores))]
+
+    def _on_observe(self, trial: Trial) -> None:
+        self._stale = True
+
+    def best_feasible_trial(self) -> Trial:
+        """Best trial among those satisfying every constraint."""
+        feasible = self.feasible_trials()
+        if not feasible:
+            raise OptimizerError("no feasible trial observed yet")
+        obj = self.objective
+        return min(feasible, key=lambda t: obj.score(t.metric(obj.name)))

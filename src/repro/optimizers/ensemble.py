@@ -1,0 +1,122 @@
+"""OpenTuner-style ensemble: multiple search techniques, one budget.
+
+Slide 5 lists OpenTuner among the generic autotuning frameworks; its core
+idea is *technique allocation* — run several search algorithms against the
+same result bank and let a bandit shift trials toward whichever is
+currently producing improvements (credit assignment by area-under-curve).
+
+:class:`EnsembleOptimizer` wraps any set of ask/tell optimizers. Each
+suggestion is drawn from one member (UCB1 over improvement credit); every
+observation is shared with *all* members, so no one starves for data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core import Objective, Optimizer, Trial, TrialStatus
+from ..exceptions import OptimizerError
+from ..space import Configuration, ConfigurationSpace
+
+__all__ = ["EnsembleOptimizer"]
+
+
+class EnsembleOptimizer(Optimizer):
+    """Technique-allocating meta-optimizer.
+
+    Parameters
+    ----------
+    members:
+        Mapping name → optimizer factory ``space -> Optimizer``. Members
+        must be single-objective and share this optimizer's objective.
+    ucb_c:
+        Exploration constant of the allocation bandit.
+    credit_decay:
+        Exponential decay of past credit, so allocation tracks which
+        technique is good *now* (search phases change).
+    """
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        members: Mapping[str, Callable[[ConfigurationSpace], Optimizer]],
+        ucb_c: float = 1.0,
+        credit_decay: float = 0.95,
+        objectives: Objective | Sequence[Objective] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(space, objectives, seed=seed)
+        if len(members) < 2:
+            raise OptimizerError("an ensemble needs at least 2 member techniques")
+        if not 0.0 < credit_decay <= 1.0:
+            raise OptimizerError(f"credit_decay must be in (0, 1], got {credit_decay}")
+        self.members: dict[str, Optimizer] = {}
+        for name, factory in members.items():
+            member = factory(space)
+            member.objectives = [self.objective]
+            member.history.objectives = [self.objective]
+            self.members[name] = member
+        self.ucb_c = float(ucb_c)
+        self.credit_decay = float(credit_decay)
+        self._credit = {name: 0.0 for name in self.members}
+        self._pulls = {name: 0 for name in self.members}
+        self._pending: list[str] = []  # member that produced each suggestion
+        self._best_score = math.inf
+
+    # -- allocation ----------------------------------------------------------
+    def _pick_member(self) -> str:
+        for name, pulls in self._pulls.items():
+            if pulls == 0:
+                return name
+        total = sum(self._pulls.values())
+        scores = {
+            name: self._credit[name] / self._pulls[name]
+            + self.ucb_c * math.sqrt(math.log(total) / self._pulls[name])
+            for name in self.members
+        }
+        return max(scores, key=scores.get)
+
+    def allocation(self) -> dict[str, int]:
+        """How many suggestions each technique has produced so far."""
+        return dict(self._pulls)
+
+    # -- ask/tell ------------------------------------------------------------------
+    def _suggest(self) -> Configuration:
+        name = self._pick_member()
+        self._pulls[name] += 1
+        self._pending.append(name)
+        return self.members[name].suggest(1)[0]
+
+    def _on_observe(self, trial: Trial) -> None:
+        producer = self._pending.pop(0) if self._pending else None
+        obj = self.objective
+        score = obj.score(trial.metric(obj.name)) if obj.name in trial.metrics else math.inf
+        # Credit: normalised improvement over the incumbent (0 if none).
+        if score < self._best_score:
+            if math.isfinite(self._best_score):
+                improvement = (self._best_score - score) / (abs(self._best_score) + 1e-12)
+            else:
+                improvement = 1.0
+            self._best_score = score
+        else:
+            improvement = 0.0
+        for name in self._credit:
+            self._credit[name] *= self.credit_decay
+        if producer is not None:
+            self._credit[producer] += min(1.0, improvement)
+        # Shared result bank: the producer always learns from its own
+        # suggestion; other members only when foreign data cannot corrupt
+        # their suggestion↔observation bookkeeping.
+        for name, member in self.members.items():
+            if name != producer and not member.accepts_foreign_observations:
+                continue
+            if trial.status is TrialStatus.SUCCEEDED:
+                member.observe(trial.config, trial.metrics, cost=trial.cost)
+            else:
+                member.observe(trial.config, trial.metrics, cost=trial.cost, status=trial.status)
+
+    def _on_observe_failure(self, trial: Trial) -> None:
+        self._on_observe(trial)

@@ -1,0 +1,185 @@
+"""Random-forest regression with predictive uncertainty (SMAC's surrogate).
+
+"Random Forest: SMAC — learn f̂(x) with RF, use regression tree outputs to
+estimate mean and variance" (slide 50). Trees split on encoded features, so
+categorical knobs are handled natively without imposing an order — the
+alternative-surrogate answer to discrete/hybrid spaces on slide 51.
+
+Implemented from scratch on numpy: variance-reduction splits, bootstrap
+bagging, and the SMAC-style uncertainty estimate (variance of tree means
+plus mean of leaf variances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import NotFittedError, OptimizerError
+
+__all__ = ["RegressionTree", "RandomForestRegressor"]
+
+
+@dataclass
+class _Node:
+    # Leaf fields
+    value: float = 0.0
+    variance: float = 0.0
+    # Split fields (children None ⇒ leaf)
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RegressionTree:
+    """CART regression tree minimising within-node squared error."""
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_leaf: int = 2,
+        max_features: float | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if max_depth < 1:
+            raise OptimizerError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise OptimizerError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        if max_features is not None and not 0.0 < max_features <= 1.0:
+            raise OptimizerError(f"max_features must be in (0, 1], got {max_features}")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = np.random.default_rng(seed)
+        self._root: _Node | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if len(X) != len(y) or len(X) == 0:
+            raise OptimizerError(f"bad training data: {X.shape}, {y.shape}")
+        self._n_features = X.shape[1]
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()), variance=float(y.var()))
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf or np.allclose(y, y[0]):
+            return node
+        split = self._best_split(X, y)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> tuple[int, float] | None:
+        n, d = X.shape
+        features = np.arange(d)
+        if self.max_features is not None:
+            k = max(1, int(round(d * self.max_features)))
+            features = self.rng.choice(d, size=k, replace=False)
+        best: tuple[float, int, float] | None = None
+        total_sq, total_sum = float((y * y).sum()), float(y.sum())
+        for f in features:
+            order = np.argsort(X[:, f], kind="stable")
+            xs, ys = X[order, f], y[order]
+            csum = np.cumsum(ys)
+            csq = np.cumsum(ys * ys)
+            # Candidate split after position i (1-based sizes).
+            sizes = np.arange(1, n)
+            valid = (xs[:-1] < xs[1:]) & (sizes >= self.min_samples_leaf) & (n - sizes >= self.min_samples_leaf)
+            if not valid.any():
+                continue
+            left_sse = csq[:-1] - csum[:-1] ** 2 / sizes
+            right_sum = total_sum - csum[:-1]
+            right_sq = total_sq - csq[:-1]
+            right_sse = right_sq - right_sum**2 / (n - sizes)
+            sse = np.where(valid, left_sse + right_sse, np.inf)
+            i = int(np.argmin(sse))
+            if np.isfinite(sse[i]) and (best is None or sse[i] < best[0]):
+                best = (float(sse[i]), int(f), float((xs[i] + xs[i + 1]) / 2.0))
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def _leaf(self, x: np.ndarray) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node
+
+    def predict(self, X: np.ndarray, return_var: bool = False):
+        if self._root is None:
+            raise NotFittedError("tree is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        leaves = [self._leaf(x) for x in X]
+        mean = np.array([lf.value for lf in leaves])
+        if not return_var:
+            return mean
+        var = np.array([lf.variance for lf in leaves])
+        return mean, var
+
+
+class RandomForestRegressor:
+    """Bagged regression trees with SMAC-style mean/variance prediction."""
+
+    def __init__(
+        self,
+        n_trees: int = 24,
+        max_depth: int = 12,
+        min_samples_leaf: int = 2,
+        max_features: float = 0.8,
+        seed: int | None = None,
+    ) -> None:
+        if n_trees < 1:
+            raise OptimizerError(f"n_trees must be >= 1, got {n_trees}")
+        self.n_trees = int(n_trees)
+        self.rng = np.random.default_rng(seed)
+        self._tree_params = dict(
+            max_depth=max_depth, min_samples_leaf=min_samples_leaf, max_features=max_features
+        )
+        self._trees: list[RegressionTree] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._trees)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if len(X) != len(y) or len(X) == 0:
+            raise OptimizerError(f"bad training data: {X.shape}, {y.shape}")
+        self._trees = []
+        n = len(X)
+        for _ in range(self.n_trees):
+            idx = self.rng.integers(0, n, size=n)  # bootstrap
+            tree = RegressionTree(seed=int(self.rng.integers(2**31)), **self._tree_params)
+            tree.fit(X[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray, return_std: bool = False):
+        if not self._trees:
+            raise NotFittedError("forest is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        means = np.empty((self.n_trees, len(X)))
+        variances = np.empty((self.n_trees, len(X)))
+        for i, tree in enumerate(self._trees):
+            means[i], variances[i] = tree.predict(X, return_var=True)
+        mean = means.mean(axis=0)
+        if not return_std:
+            return mean
+        # Law of total variance across the ensemble.
+        var = means.var(axis=0) + variances.mean(axis=0)
+        return mean, np.sqrt(np.maximum(var, 1e-12))

@@ -1,0 +1,177 @@
+"""Gaussian-process regression — the surrogate model M of the tutorial.
+
+"Model random functions f̂ ~ GP(μ(x), Σ(x, x′)) … condition on observed
+points, extract the expected function and confidence interval." This is a
+from-scratch implementation: Cholesky conditioning (the slide's closed
+form), marginal-likelihood hyperparameter fitting, and posterior sampling.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import linalg, optimize
+
+from ..exceptions import NotFittedError, OptimizerError
+from .kernels import ConstantKernel, Kernel, Matern, WhiteKernel
+
+__all__ = ["GaussianProcessRegressor", "default_kernel"]
+
+
+def default_kernel(ard_dims: int | None = None) -> Kernel:
+    """The BO workhorse: scaled Matérn-5/2 plus learned white noise."""
+    length_scale = np.full(ard_dims, 0.3) if ard_dims else 0.3
+    return ConstantKernel(1.0) * Matern(length_scale, nu=2.5) + WhiteKernel(1e-3)
+
+
+class GaussianProcessRegressor:
+    """GP regression on (typically unit-cube) inputs.
+
+    Parameters
+    ----------
+    kernel:
+        Covariance function; defaults to Constant × Matérn(2.5) + White.
+    optimize_hypers:
+        Maximise the log marginal likelihood over kernel hyperparameters on
+        each :meth:`fit`.
+    n_restarts:
+        Extra random restarts for the hyperparameter search.
+    jitter:
+        Diagonal stabiliser added before Cholesky.
+    normalize_y:
+        Standardise targets internally (predictions are de-standardised).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel | None = None,
+        optimize_hypers: bool = True,
+        n_restarts: int = 1,
+        jitter: float = 1e-8,
+        normalize_y: bool = True,
+        seed: int | None = None,
+    ) -> None:
+        self.kernel = kernel if kernel is not None else default_kernel()
+        self.optimize_hypers = optimize_hypers
+        self.n_restarts = int(n_restarts)
+        self.jitter = float(jitter)
+        self.normalize_y = normalize_y
+        self.rng = np.random.default_rng(seed)
+        self._X: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._L: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    # -- fitting --------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcessRegressor":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if len(X) != len(y):
+            raise OptimizerError(f"X and y disagree: {len(X)} vs {len(y)}")
+        if len(X) == 0:
+            raise OptimizerError("cannot fit a GP to zero observations")
+        if self.normalize_y:
+            self._y_mean = float(y.mean())
+            self._y_std = float(y.std()) or 1.0
+        else:
+            self._y_mean, self._y_std = 0.0, 1.0
+        self._X = X
+        self._y = (y - self._y_mean) / self._y_std
+
+        if self.optimize_hypers and len(X) >= 2:
+            self._optimize_theta()
+        self._recompute()
+        return self
+
+    def _nll(self, theta: np.ndarray) -> float:
+        self.kernel.theta = theta
+        K = self.kernel(self._X) + self.jitter * np.eye(len(self._X))
+        try:
+            L = linalg.cholesky(K, lower=True)
+        except linalg.LinAlgError:
+            return 1e25
+        alpha = linalg.cho_solve((L, True), self._y)
+        nll = (
+            0.5 * float(self._y @ alpha)
+            + float(np.log(np.diag(L)).sum())
+            + 0.5 * len(self._X) * math.log(2.0 * math.pi)
+        )
+        return nll if np.isfinite(nll) else 1e25
+
+    def _optimize_theta(self) -> None:
+        bounds = self.kernel.bounds
+        starts = [self.kernel.theta.copy()]
+        for _ in range(self.n_restarts):
+            starts.append(self.rng.uniform(bounds[:, 0], bounds[:, 1]))
+        best_theta, best_nll = starts[0], self._nll(starts[0])
+        for start in starts:
+            res = optimize.minimize(
+                self._nll, start, method="L-BFGS-B", bounds=bounds,
+                options={"maxiter": 50},
+            )
+            if res.fun < best_nll:
+                best_nll, best_theta = float(res.fun), res.x
+        self.kernel.theta = best_theta
+
+    def _recompute(self) -> None:
+        K = self.kernel(self._X) + self.jitter * np.eye(len(self._X))
+        try:
+            self._L = linalg.cholesky(K, lower=True)
+        except linalg.LinAlgError:
+            # Escalate the jitter rather than fail: noisy-system data can
+            # contain near-duplicate rows.
+            K += 1e-4 * np.eye(len(self._X))
+            self._L = linalg.cholesky(K, lower=True)
+        self._alpha = linalg.cho_solve((self._L, True), self._y)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._X is not None
+
+    def log_marginal_likelihood(self) -> float:
+        self._require_fit()
+        return -self._nll(self.kernel.theta)
+
+    # -- prediction ----------------------------------------------------------------
+    def predict(self, X: np.ndarray, return_std: bool = False):
+        """Posterior mean (and optionally std) at query points.
+
+        The slide's conditioning formula:
+        ``μ* = K*ᵀ K⁻¹ y`` and ``Σ* = K** − K*ᵀ K⁻¹ K*``.
+        """
+        self._require_fit()
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Ks = self.kernel(self._X, X)
+        mean = Ks.T @ self._alpha * self._y_std + self._y_mean
+        if not return_std:
+            return mean
+        v = linalg.solve_triangular(self._L, Ks, lower=True)
+        var = self.kernel.diag(X) - np.sum(v * v, axis=0)
+        std = np.sqrt(np.maximum(var, 1e-12)) * self._y_std
+        return mean, std
+
+    def sample_y(self, X: np.ndarray, n_samples: int = 1, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Draw posterior function samples at X — shape (n_samples, len(X))."""
+        self._require_fit()
+        rng = rng if rng is not None else self.rng
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Ks = self.kernel(self._X, X)
+        mean = Ks.T @ self._alpha
+        v = linalg.solve_triangular(self._L, Ks, lower=True)
+        cov = self.kernel(X) - v.T @ v + 1e-10 * np.eye(len(X))
+        draws = rng.multivariate_normal(mean, cov, size=n_samples)
+        return draws * self._y_std + self._y_mean
+
+    def prior_sample(self, X: np.ndarray, n_samples: int = 1, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Draw from the GP *prior* (no data) — the slide's 'model random
+        functions' picture."""
+        rng = rng if rng is not None else self.rng
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        cov = self.kernel(X) + 1e-10 * np.eye(len(X))
+        return rng.multivariate_normal(np.zeros(len(X)), cov, size=n_samples)
+
+    def _require_fit(self) -> None:
+        if not self.is_fitted:
+            raise NotFittedError("call fit() before querying the GP")

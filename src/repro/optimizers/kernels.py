@@ -1,0 +1,237 @@
+"""Covariance kernels for Gaussian-process surrogates.
+
+Implements the kernels the tutorial's "Kernel Functions" slides cover: RBF
+(the scikit-learn default), Matérn (the "most popular kernel nowadays", with
+ν controlling smoothness and converging to RBF as ν→∞), plus Constant and
+White noise kernels, and Sum/Product composition ("kernels can be combined").
+
+All hyperparameters live in log-space vectors (``theta``) so the marginal-
+likelihood optimizer can do unconstrained-ish box search.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..exceptions import OptimizerError
+
+__all__ = ["Kernel", "ConstantKernel", "WhiteKernel", "RBF", "Matern", "Sum", "Product"]
+
+
+def _cdist_sq(X1: np.ndarray, X2: np.ndarray, length_scale: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance after per-dimension scaling."""
+    A = X1 / length_scale
+    B = X2 / length_scale
+    sq = (
+        np.sum(A * A, axis=1)[:, None]
+        + np.sum(B * B, axis=1)[None, :]
+        - 2.0 * A @ B.T
+    )
+    return np.maximum(sq, 0.0)
+
+
+class Kernel(ABC):
+    """A positive-semidefinite covariance function with log-space params."""
+
+    @abstractmethod
+    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None) -> np.ndarray:
+        """Covariance matrix K(X1, X2); X2=None means K(X1, X1)."""
+
+    @abstractmethod
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        """Diagonal of K(X, X) without forming the matrix."""
+
+    @property
+    @abstractmethod
+    def theta(self) -> np.ndarray:
+        """Log-space hyperparameter vector."""
+
+    @theta.setter
+    @abstractmethod
+    def theta(self, value: np.ndarray) -> None: ...
+
+    @property
+    @abstractmethod
+    def bounds(self) -> np.ndarray:
+        """(n_params, 2) log-space bounds."""
+
+    # -- composition ---------------------------------------------------------
+    def __add__(self, other: "Kernel") -> "Sum":
+        return Sum(self, other)
+
+    def __mul__(self, other: "Kernel") -> "Product":
+        return Product(self, other)
+
+
+class ConstantKernel(Kernel):
+    """K(x, x') = variance. Scales other kernels via products."""
+
+    def __init__(self, variance: float = 1.0, bounds: tuple[float, float] = (1e-4, 1e4)) -> None:
+        if variance <= 0:
+            raise OptimizerError(f"variance must be positive, got {variance}")
+        self.variance = float(variance)
+        self._bounds = bounds
+
+    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None) -> np.ndarray:
+        n2 = len(X1) if X2 is None else len(X2)
+        return np.full((len(X1), n2), self.variance)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.full(len(X), self.variance)
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.array([math.log(self.variance)])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        self.variance = float(np.exp(value[0]))
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return np.log(np.array([self._bounds]))
+
+
+class WhiteKernel(Kernel):
+    """Observation-noise kernel: adds ``noise`` on the diagonal only.
+
+    Essential for tuning noisy systems — the GP stops interpolating
+    measurement noise and starts averaging it out.
+    """
+
+    def __init__(self, noise: float = 1e-3, bounds: tuple[float, float] = (1e-8, 1e2)) -> None:
+        if noise <= 0:
+            raise OptimizerError(f"noise must be positive, got {noise}")
+        self.noise = float(noise)
+        self._bounds = bounds
+
+    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None) -> np.ndarray:
+        if X2 is None:
+            return self.noise * np.eye(len(X1))
+        return np.zeros((len(X1), len(X2)))
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.full(len(X), self.noise)
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.array([math.log(self.noise)])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        self.noise = float(np.exp(value[0]))
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return np.log(np.array([self._bounds]))
+
+
+class _StationaryKernel(Kernel):
+    """Shared machinery for distance-based kernels with ARD length-scales."""
+
+    def __init__(self, length_scale: float | np.ndarray = 1.0, bounds: tuple[float, float] = (1e-3, 1e3)) -> None:
+        ls = np.atleast_1d(np.asarray(length_scale, dtype=float))
+        if np.any(ls <= 0):
+            raise OptimizerError(f"length_scale must be positive, got {length_scale}")
+        self.length_scale = ls
+        self._bounds = bounds
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.log(self.length_scale)
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        self.length_scale = np.exp(np.asarray(value, dtype=float))
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return np.log(np.tile(np.array([self._bounds]), (len(self.length_scale), 1)))
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.ones(len(X))
+
+
+class RBF(_StationaryKernel):
+    """Radial basis function: ``exp(-d² / 2ℓ²)``; infinitely smooth.
+
+    ``length_scale`` may be a vector for ARD (one ℓ per input dimension).
+    """
+
+    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None) -> np.ndarray:
+        X2 = X1 if X2 is None else X2
+        return np.exp(-0.5 * _cdist_sq(X1, X2, self.length_scale))
+
+
+class Matern(_StationaryKernel):
+    """Matérn kernel with ν ∈ {0.5, 1.5, 2.5} (the closed-form cases).
+
+    ν = 0.5 is the rough exponential kernel; 2.5 is the BO workhorse.
+    """
+
+    _SUPPORTED_NU = (0.5, 1.5, 2.5)
+
+    def __init__(
+        self,
+        length_scale: float | np.ndarray = 1.0,
+        nu: float = 2.5,
+        bounds: tuple[float, float] = (1e-3, 1e3),
+    ) -> None:
+        super().__init__(length_scale, bounds)
+        if nu not in self._SUPPORTED_NU:
+            raise OptimizerError(f"nu must be one of {self._SUPPORTED_NU}, got {nu}")
+        self.nu = float(nu)
+
+    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None) -> np.ndarray:
+        X2 = X1 if X2 is None else X2
+        d = np.sqrt(_cdist_sq(X1, X2, self.length_scale))
+        if self.nu == 0.5:
+            return np.exp(-d)
+        if self.nu == 1.5:
+            s = math.sqrt(3.0) * d
+            return (1.0 + s) * np.exp(-s)
+        s = math.sqrt(5.0) * d
+        return (1.0 + s + s * s / 3.0) * np.exp(-s)
+
+
+class _CompositeKernel(Kernel):
+    def __init__(self, k1: Kernel, k2: Kernel) -> None:
+        self.k1 = k1
+        self.k2 = k2
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.concatenate([self.k1.theta, self.k2.theta])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        n1 = len(self.k1.theta)
+        self.k1.theta = value[:n1]
+        self.k2.theta = value[n1:]
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return np.vstack([self.k1.bounds, self.k2.bounds])
+
+
+class Sum(_CompositeKernel):
+    """K = K1 + K2 (e.g. signal kernel + white noise)."""
+
+    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None) -> np.ndarray:
+        return self.k1(X1, X2) + self.k2(X1, X2)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return self.k1.diag(X) + self.k2.diag(X)
+
+
+class Product(_CompositeKernel):
+    """K = K1 ⊙ K2 (e.g. constant variance × RBF)."""
+
+    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None) -> np.ndarray:
+        return self.k1(X1, X2) * self.k2(X1, X2)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return self.k1.diag(X) * self.k2.diag(X)

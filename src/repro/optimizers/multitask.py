@@ -1,0 +1,237 @@
+"""Multi-task optimization with a multi-output GP (slide 59).
+
+"Can we reuse the data collected while optimizing f₁(x) when optimizing
+f₂(x)? Yes! Idea: exploit the correlations between f₁ … f_k. Separable
+multi-output kernels: K((i,x),(j,x')) = K_t(i,j) · K_x(x,x')."
+
+:class:`MultiOutputGP` implements the intrinsic coregionalisation model
+(ICM): a free-form task covariance (learned as a low-rank B Bᵀ + diag)
+multiplying a shared input kernel. :class:`MultiTaskOptimizer` uses it to
+optimize several objectives *simultaneously* — each suggestion targets one
+task's EI, but every observation of any task sharpens all tasks' models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg, optimize
+
+from ..core import Objective, Optimizer, Trial
+from ..exceptions import NotFittedError, OptimizerError
+from ..space import Configuration, ConfigurationSpace
+from ..space.encoding import OrdinalEncoder
+from .acquisition import ExpectedImprovement
+from .kernels import Kernel, Matern
+
+__all__ = ["MultiOutputGP", "MultiTaskOptimizer"]
+
+
+class MultiOutputGP:
+    """ICM multi-output GP: K((i,x),(j,x')) = B[i,j] · K_x(x,x') + noise.
+
+    ``B = W Wᵀ + diag(v)`` with rank-1 W — enough to express positive and
+    partial correlations between a handful of tasks while staying cheap.
+    """
+
+    def __init__(
+        self,
+        n_tasks: int,
+        input_kernel: Kernel | None = None,
+        noise: float = 1e-3,
+        optimize_hypers: bool = True,
+        seed: int | None = None,
+    ) -> None:
+        if n_tasks < 2:
+            raise OptimizerError(f"need >= 2 tasks, got {n_tasks}")
+        self.n_tasks = int(n_tasks)
+        self.input_kernel = input_kernel if input_kernel is not None else Matern(0.3, nu=2.5)
+        self.noise = float(noise)
+        self.optimize_hypers = optimize_hypers
+        self.rng = np.random.default_rng(seed)
+        # Task covariance parameters: W (n_tasks,) rank-1 + diagonal v.
+        self._w = np.ones(self.n_tasks)
+        self._v = np.full(self.n_tasks, 0.1)
+        self._X: np.ndarray | None = None
+        self._tasks: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._L: np.ndarray | None = None
+        self._y_mean = np.zeros(self.n_tasks)
+        self._y_std = np.ones(self.n_tasks)
+
+    # -- task covariance -------------------------------------------------------
+    def task_covariance(self) -> np.ndarray:
+        return np.outer(self._w, self._w) + np.diag(np.maximum(self._v, 1e-6))
+
+    def task_correlation(self) -> np.ndarray:
+        B = self.task_covariance()
+        d = np.sqrt(np.diag(B))
+        return B / np.outer(d, d)
+
+    # -- fitting ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, tasks: np.ndarray, y: np.ndarray) -> "MultiOutputGP":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        tasks = np.asarray(tasks, dtype=int).ravel()
+        y = np.asarray(y, dtype=float).ravel()
+        if not (len(X) == len(tasks) == len(y)):
+            raise OptimizerError("X, tasks, y must align")
+        if len(X) == 0:
+            raise OptimizerError("cannot fit to zero observations")
+        if tasks.min() < 0 or tasks.max() >= self.n_tasks:
+            raise OptimizerError(f"task ids must be in [0, {self.n_tasks})")
+        # Per-task standardisation so tasks with different units coexist.
+        y_std = y.copy().astype(float)
+        for t in range(self.n_tasks):
+            mask = tasks == t
+            if mask.any():
+                self._y_mean[t] = float(y[mask].mean())
+                self._y_std[t] = float(y[mask].std()) or 1.0
+            y_std[mask] = (y[mask] - self._y_mean[t]) / self._y_std[t]
+        self._X, self._tasks, self._y = X, tasks, y_std
+        if self.optimize_hypers and len(X) >= 4:
+            self._optimize()
+        self._recompute()
+        return self
+
+    def _theta(self) -> np.ndarray:
+        return np.concatenate([
+            self.input_kernel.theta,
+            np.log(np.abs(self._w) + 1e-6),
+            np.log(self._v),
+            [np.log(self.noise)],
+        ])
+
+    def _set_theta(self, theta: np.ndarray) -> None:
+        nk = len(self.input_kernel.theta)
+        self.input_kernel.theta = theta[:nk]
+        self._w = np.exp(theta[nk:nk + self.n_tasks])
+        self._v = np.exp(theta[nk + self.n_tasks:nk + 2 * self.n_tasks])
+        self.noise = float(np.exp(theta[-1]))
+
+    def _nll(self, theta: np.ndarray) -> float:
+        self._set_theta(theta)
+        try:
+            K = self._full_kernel(self._X, self._tasks)
+            L = linalg.cholesky(K + 1e-8 * np.eye(len(K)), lower=True)
+        except linalg.LinAlgError:
+            return 1e25
+        alpha = linalg.cho_solve((L, True), self._y)
+        nll = 0.5 * float(self._y @ alpha) + float(np.log(np.diag(L)).sum())
+        return nll if np.isfinite(nll) else 1e25
+
+    def _optimize(self) -> None:
+        start = self._theta()
+        bounds = (
+            [tuple(b) for b in self.input_kernel.bounds]
+            + [(-3.0, 3.0)] * self.n_tasks  # log |w|
+            + [(-6.0, 2.0)] * self.n_tasks  # log v
+            + [(np.log(1e-6), np.log(1.0))]  # log noise
+        )
+        res = optimize.minimize(self._nll, start, method="L-BFGS-B", bounds=bounds, options={"maxiter": 60})
+        self._set_theta(res.x if res.fun < self._nll(start) else start)
+
+    def _full_kernel(self, X: np.ndarray, tasks: np.ndarray, X2=None, tasks2=None) -> np.ndarray:
+        X2 = X if X2 is None else X2
+        tasks2 = tasks if tasks2 is None else tasks2
+        B = self.task_covariance()
+        Kx = self.input_kernel(X, X2)
+        K = B[np.ix_(tasks, tasks2)] * Kx
+        if X2 is X and tasks2 is tasks:
+            K = K + self.noise * np.eye(len(X))
+        return K
+
+    def _recompute(self) -> None:
+        K = self._full_kernel(self._X, self._tasks)
+        self._L = linalg.cholesky(K + 1e-8 * np.eye(len(K)), lower=True)
+        self._alpha = linalg.cho_solve((self._L, True), self._y)
+
+    # -- prediction -------------------------------------------------------------
+    def predict(self, X: np.ndarray, task: int, return_std: bool = False):
+        if self._X is None:
+            raise NotFittedError("fit the multi-output GP first")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        tq = np.full(len(X), int(task))
+        Ks = self._full_kernel(self._X, self._tasks, X, tq)
+        mean = Ks.T @ self._alpha * self._y_std[task] + self._y_mean[task]
+        if not return_std:
+            return mean
+        v = linalg.solve_triangular(self._L, Ks, lower=True)
+        prior = self.task_covariance()[task, task] * self.input_kernel.diag(X)
+        var = prior - np.sum(v * v, axis=0)
+        return mean, np.sqrt(np.maximum(var, 1e-12)) * self._y_std[task]
+
+
+class MultiTaskOptimizer(Optimizer):
+    """Optimize k objectives at once, sharing data through an ICM GP.
+
+    Each ``suggest`` round-robins the *focus task* and maximises that
+    task's EI; every ``observe`` carries all reported task metrics into
+    one shared model, so a trial run for task 0 still teaches task 1's
+    surrogate (slide 59's whole point).
+    """
+
+    supports_multi_objective = True
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        objectives: list[Objective],
+        n_init: int = 8,
+        n_candidates: int = 256,
+        seed: int | None = None,
+    ) -> None:
+        if len(objectives) < 2:
+            raise OptimizerError("MultiTaskOptimizer needs >= 2 objectives")
+        super().__init__(space, objectives, seed=seed)
+        self.n_init = int(n_init)
+        self.n_candidates = int(n_candidates)
+        self.encoder = OrdinalEncoder(space)
+        self.model = MultiOutputGP(len(objectives), seed=seed)
+        self.acquisition = ExpectedImprovement()
+        self._focus = 0
+        self._stale = True
+
+    def _training(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        rows, tasks, ys = [], [], []
+        for t in self.history.completed():
+            x = self.encoder.encode(t.config)
+            for i, obj in enumerate(self.objectives):
+                if obj.name in t.metrics:
+                    rows.append(x)
+                    tasks.append(i)
+                    ys.append(obj.score(t.metric(obj.name)))
+        if not rows:
+            return np.empty((0, self.encoder.n_features)), np.empty(0, dtype=int), np.empty(0)
+        return np.stack(rows), np.array(tasks), np.array(ys)
+
+    def _suggest(self) -> Configuration:
+        self._focus = (self._focus + 1) % len(self.objectives)
+        if len(self.history.completed()) < self.n_init:
+            return self.space.sample(self.rng)
+        if self._stale:
+            X, tasks, y = self._training()
+            if len(X) == 0:
+                return self.space.sample(self.rng)
+            self.model.fit(X, tasks, y)
+            self._stale = False
+        task = self._focus
+        obj = self.objectives[task]
+        scores = [
+            obj.score(t.metric(obj.name))
+            for t in self.history.completed()
+            if obj.name in t.metrics
+        ]
+        best = float(min(scores)) if scores else 0.0
+        cands = [self.space.sample(self.rng) for _ in range(self.n_candidates)]
+        mean, std = self.model.predict(self.encoder.encode_many(cands), task, return_std=True)
+        return cands[int(np.argmax(self.acquisition(mean, std, best)))]
+
+    def _on_observe(self, trial: Trial) -> None:
+        self._stale = True
+
+    def best_for(self, task: int) -> Trial:
+        """Best trial according to objective ``task``."""
+        obj = self.objectives[task]
+        done = [t for t in self.history.completed() if obj.name in t.metrics]
+        if not done:
+            raise OptimizerError(f"no trials with metric {obj.name!r}")
+        return min(done, key=lambda t: obj.score(t.metric(obj.name)))

@@ -1,0 +1,119 @@
+"""ParEGO — multi-objective BO via random Tchebycheff scalarisation.
+
+Knowles (2006), cited on slide 58: each iteration draws a random weight
+vector θ, collapses the observed objective vectors into one augmented-
+Tchebycheff score, fits the surrogate to that, and maximises EI. Over many
+iterations the rotating weights trace out the whole Pareto frontier.
+
+Also provides :class:`LinearScalarizationOptimizer` (the slide's simpler
+``min Σ θᵢ fᵢ(x)`` alternative) as the baseline ParEGO is compared against:
+linear scalarisation cannot reach concave regions of the front.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import Objective, Optimizer, Trial
+from ..exceptions import OptimizerError
+from ..space import Configuration, ConfigurationSpace
+from ..space.encoding import OrdinalEncoder
+from .acquisition import ExpectedImprovement
+from .gp import GaussianProcessRegressor, default_kernel
+from .pareto import pareto_front_mask
+
+__all__ = ["ParEGOOptimizer", "LinearScalarizationOptimizer"]
+
+
+class _ScalarizingBO(Optimizer):
+    """Shared machinery: GP-EI over a scalarisation recomputed per suggest."""
+
+    supports_multi_objective = True
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        objectives: list[Objective],
+        n_init: int = 8,
+        n_candidates: int = 512,
+        seed: int | None = None,
+    ) -> None:
+        if len(objectives) < 2:
+            raise OptimizerError("multi-objective optimizers need >= 2 objectives")
+        super().__init__(space, objectives, seed=seed)
+        self.n_init = int(n_init)
+        self.n_candidates = int(n_candidates)
+        self.encoder = OrdinalEncoder(space)
+        self.model = GaussianProcessRegressor(kernel=default_kernel(self.encoder.n_features), seed=seed)
+        self.acquisition = ExpectedImprovement()
+
+    # -- scalarisation -------------------------------------------------------
+    def _objective_matrix(self) -> tuple[list[Configuration], np.ndarray]:
+        done = self.history.completed()
+        configs = [t.config for t in done]
+        F = np.array([[obj.score(t.metric(obj.name)) for obj in self.objectives] for t in done])
+        return configs, F
+
+    @staticmethod
+    def _normalize(F: np.ndarray) -> np.ndarray:
+        lo = F.min(axis=0)
+        span = F.max(axis=0) - lo
+        span[span <= 0] = 1.0
+        return (F - lo) / span
+
+    def _draw_weights(self) -> np.ndarray:
+        w = self.rng.dirichlet(np.ones(len(self.objectives)))
+        return np.maximum(w, 1e-6)
+
+    def _scalarize(self, F_norm: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- suggest -----------------------------------------------------------------
+    def _suggest(self) -> Configuration:
+        configs, F = self._objective_matrix()
+        if len(configs) < self.n_init:
+            return self.space.sample(self.rng)
+        weights = self._draw_weights()
+        y = self._scalarize(self._normalize(F), weights)
+        X = self.encoder.encode_many(configs)
+        self.model.fit(X, y)
+        cands = [self.space.sample(self.rng) for _ in range(self.n_candidates)]
+        mean, std = self.model.predict(self.encoder.encode_many(cands), return_std=True)
+        scores = self.acquisition(mean, std, float(y.min()))
+        return cands[int(np.argmax(scores))]
+
+    # -- results ------------------------------------------------------------------
+    def pareto_trials(self) -> list[Trial]:
+        """Completed trials whose objective vectors are non-dominated."""
+        done = self.history.completed()
+        if not done:
+            return []
+        _, F = self._objective_matrix()
+        mask = pareto_front_mask(F)
+        return [t for t, keep in zip(done, mask) if keep]
+
+    def objective_values(self) -> np.ndarray:
+        """(n, k) matrix of canonical scores of completed trials."""
+        _, F = self._objective_matrix()
+        return F
+
+
+class ParEGOOptimizer(_ScalarizingBO):
+    """Augmented Tchebycheff: g(f) = max_i θᵢ fᵢ + ρ Σ θᵢ fᵢ."""
+
+    def __init__(self, *args, rho: float = 0.05, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if rho < 0:
+            raise OptimizerError(f"rho must be >= 0, got {rho}")
+        self.rho = float(rho)
+
+    def _scalarize(self, F_norm: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        weighted = F_norm * weights
+        return weighted.max(axis=1) + self.rho * weighted.sum(axis=1)
+
+
+class LinearScalarizationOptimizer(_ScalarizingBO):
+    """Plain weighted sum — misses concave Pareto regions (the lesson)."""
+
+    def _scalarize(self, F_norm: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        return (F_norm * weights).sum(axis=1)

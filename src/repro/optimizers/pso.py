@@ -1,0 +1,103 @@
+"""Particle swarm optimization (slide 50's third black-box family).
+
+A swarm of particles moves through the unit-encoded space, each attracted
+to its personal best and the global best (Gad 2022's canonical update with
+inertia). Ask/tell: one round evaluates every particle once, then
+velocities update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import Objective, Optimizer, Trial
+from ..exceptions import OptimizerError
+from ..space import Configuration, ConfigurationSpace
+
+__all__ = ["ParticleSwarmOptimizer"]
+
+
+class ParticleSwarmOptimizer(Optimizer):
+    """Canonical PSO with inertia weight.
+
+    Parameters
+    ----------
+    n_particles:
+        Swarm size.
+    inertia:
+        Velocity persistence w.
+    cognitive, social:
+        Attraction strengths toward personal (c1) and global (c2) bests.
+    v_max:
+        Velocity clamp in unit-cube units.
+    """
+
+    #: Observations are matched to suggestions by queue order, so
+    #: foreign observations would corrupt the population state.
+    accepts_foreign_observations = False
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        n_particles: int = 12,
+        inertia: float = 0.7,
+        cognitive: float = 1.5,
+        social: float = 1.5,
+        v_max: float = 0.25,
+        objectives: Objective | list[Objective] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(space, objectives, seed=seed)
+        if n_particles < 2:
+            raise OptimizerError(f"need at least 2 particles, got {n_particles}")
+        for name, v in [("inertia", inertia), ("cognitive", cognitive), ("social", social)]:
+            if v < 0:
+                raise OptimizerError(f"{name} must be >= 0, got {v}")
+        self.n_particles = int(n_particles)
+        self.inertia = float(inertia)
+        self.cognitive = float(cognitive)
+        self.social = float(social)
+        self.v_max = float(v_max)
+
+        n = space.n_dims
+        self.positions = self.rng.random((self.n_particles, n))
+        self.velocities = self.rng.uniform(-v_max, v_max, (self.n_particles, n))
+        self.pbest_pos = self.positions.copy()
+        self.pbest_score = np.full(self.n_particles, np.inf)
+        self.gbest_pos = self.positions[0].copy()
+        self.gbest_score = np.inf
+
+        self._cursor = 0  # particle to evaluate next
+        self._pending: list[int] = []
+
+    def _suggest(self) -> Configuration:
+        idx = self._cursor
+        self._cursor = (self._cursor + 1) % self.n_particles
+        if idx == 0 and len(self.history) >= self.n_particles:
+            self._advance_swarm()
+        self._pending.append(idx)
+        return self.space.from_unit_array(np.clip(self.positions[idx], 0.0, 1.0))
+
+    def _advance_swarm(self) -> None:
+        r1 = self.rng.random(self.positions.shape)
+        r2 = self.rng.random(self.positions.shape)
+        self.velocities = (
+            self.inertia * self.velocities
+            + self.cognitive * r1 * (self.pbest_pos - self.positions)
+            + self.social * r2 * (self.gbest_pos[None, :] - self.positions)
+        )
+        np.clip(self.velocities, -self.v_max, self.v_max, out=self.velocities)
+        self.positions = np.clip(self.positions + self.velocities, 0.0, 1.0)
+
+    def _on_observe(self, trial: Trial) -> None:
+        if not self._pending:
+            return  # warm-start data: no particle attached
+        idx = self._pending.pop(0)
+        obj = self.objective
+        score = obj.score(trial.metric(obj.name))
+        if score < self.pbest_score[idx]:
+            self.pbest_score[idx] = score
+            self.pbest_pos[idx] = self.positions[idx].copy()
+        if score < self.gbest_score:
+            self.gbest_score = score
+            self.gbest_pos = self.positions[idx].copy()

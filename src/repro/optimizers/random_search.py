@@ -1,0 +1,28 @@
+"""Random search — the tutorial's "Variation: Random Search" baseline.
+
+Fixed trial budget, pick configuration values at random (honouring priors),
+try all, pick the best. Surprisingly strong in high dimensions, and the
+standard baseline every model-guided method must beat.
+"""
+
+from __future__ import annotations
+
+from ..core import Objective, Optimizer
+from ..space import Configuration, ConfigurationSpace
+
+__all__ = ["RandomSearchOptimizer"]
+
+
+class RandomSearchOptimizer(Optimizer):
+    """I.i.d. sampling from the space's priors (feasible by construction)."""
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        objectives: Objective | list[Objective] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(space, objectives, seed=seed)
+
+    def _suggest(self) -> Configuration:
+        return self.space.sample(self.rng)

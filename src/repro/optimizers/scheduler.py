@@ -1,0 +1,144 @@
+"""Parallel trial execution (simulated wall clock) — slide 57.
+
+"Optimizer suggests many configurations at once. Synchronous: always
+suggest k points, batch execute trials. Asynchronous: suggest 1 point at a
+time, track up to k in-progress configurations."
+
+:class:`ParallelRunner` simulates a pool of ``n_workers`` benchmark
+machines: each trial has a duration (its cost), and the runner advances a
+virtual clock, so experiments can compare wall-clock speedups and
+sample-efficiency penalties of batching without real concurrency.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core import Optimizer, TrialStatus
+from ..core.result import TuningResult
+from ..exceptions import OptimizerError, SystemCrashError, TrialAbortedError
+from ..space import Configuration
+
+__all__ = ["ParallelRunner", "ParallelResult"]
+
+
+@dataclass
+class ParallelResult:
+    """Outcome of a (simulated) parallel tuning run."""
+
+    result: TuningResult
+    wall_clock_s: float
+    n_workers: int
+    mode: str
+
+
+class ParallelRunner:
+    """Runs an optimizer against an evaluator on ``n_workers`` simulated
+    machines.
+
+    Parameters
+    ----------
+    optimizer:
+        Any ask/tell optimizer. Batch modes exploit optimizers whose
+        ``suggest(n)`` diversifies (e.g. BO's constant liar).
+    evaluator:
+        ``config -> (metrics, duration_s)``.
+    n_workers:
+        Pool size k.
+    mode:
+        "serial", "sync" (suggest k, barrier), or "async" (refill each
+        worker the moment it frees up).
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        evaluator: Callable[[Configuration], tuple],
+        n_workers: int = 4,
+        mode: str = "async",
+    ) -> None:
+        if n_workers < 1:
+            raise OptimizerError(f"n_workers must be >= 1, got {n_workers}")
+        if mode not in ("serial", "sync", "async"):
+            raise OptimizerError(f"mode must be serial|sync|async, got {mode!r}")
+        self.optimizer = optimizer
+        self.evaluator = evaluator
+        self.n_workers = 1 if mode == "serial" else int(n_workers)
+        self.mode = mode
+
+    def _evaluate(self, config: Configuration) -> tuple:
+        """Returns (metrics_or_none, duration, status)."""
+        try:
+            metrics, duration = self.evaluator(config)
+            return metrics, float(duration), TrialStatus.SUCCEEDED
+        except SystemCrashError:
+            return None, 1.0, TrialStatus.FAILED
+        except TrialAbortedError:
+            return None, 1.0, TrialStatus.ABORTED
+
+    def _observe(self, config: Configuration, outcome: tuple) -> None:
+        metrics, duration, status = outcome
+        if status is TrialStatus.SUCCEEDED:
+            self.optimizer.observe(config, metrics, cost=duration)
+        else:
+            self.optimizer.observe_failure(config, cost=duration, status=status)
+
+    def run(self, max_trials: int) -> ParallelResult:
+        if max_trials < 1:
+            raise OptimizerError(f"max_trials must be >= 1, got {max_trials}")
+        if self.mode in ("serial", "sync"):
+            wall = self._run_sync(max_trials)
+        else:
+            wall = self._run_async(max_trials)
+        obj = self.optimizer.objective
+        best = self.optimizer.history.best(obj)
+        result = TuningResult(
+            best_config=best.config,
+            best_value=best.metric(obj.name),
+            objective=obj,
+            history=self.optimizer.history,
+            n_trials=len(self.optimizer.history),
+            total_cost=self.optimizer.history.total_cost(),
+        )
+        return ParallelResult(result, wall, self.n_workers, self.mode)
+
+    def _run_sync(self, max_trials: int) -> float:
+        wall = 0.0
+        remaining = max_trials
+        while remaining > 0:
+            batch = min(self.n_workers, remaining)
+            configs = self.optimizer.suggest(batch)
+            outcomes = [self._evaluate(c) for c in configs]
+            # Barrier: the batch takes as long as its slowest trial.
+            wall += max(o[1] for o in outcomes)
+            for config, outcome in zip(configs, outcomes):
+                self._observe(config, outcome)
+            remaining -= batch
+        return wall
+
+    def _run_async(self, max_trials: int) -> float:
+        # Event-driven simulation: a heap of (finish_time, seq, config, outcome).
+        clock = 0.0
+        seq = 0
+        in_flight: list[tuple[float, int, Configuration, tuple]] = []
+        started = 0
+
+        def launch(at: float) -> None:
+            nonlocal seq, started
+            config = self.optimizer.suggest(1)[0]
+            outcome = self._evaluate(config)
+            heapq.heappush(in_flight, (at + outcome[1], seq, config, outcome))
+            seq += 1
+            started += 1
+
+        while started < min(self.n_workers, max_trials):
+            launch(clock)
+        while in_flight:
+            finish, _, config, outcome = heapq.heappop(in_flight)
+            clock = finish
+            self._observe(config, outcome)
+            if started < max_trials:
+                launch(clock)
+        return clock

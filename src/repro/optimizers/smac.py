@@ -1,0 +1,96 @@
+"""SMAC-style optimizer: random-forest surrogate + EI + random interleaving.
+
+Hutter, Hoos & Leyton-Brown's sequential model-based algorithm
+configuration, as cited on slide 50. The forest handles categorical and
+conditional knobs natively (no imposed order), and every ``interleave``-th
+suggestion is random — SMAC's guarantee against model lock-in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import Objective, Optimizer, Trial
+from ..exceptions import OptimizerError
+from ..space import Configuration, ConfigurationSpace
+from ..space.encoding import OneHotEncoder
+from .acquisition import AcquisitionFunction, ExpectedImprovement
+from .forest import RandomForestRegressor
+
+__all__ = ["SMACOptimizer"]
+
+
+class SMACOptimizer(Optimizer):
+    """Random-forest Bayesian optimization à la SMAC.
+
+    Parameters
+    ----------
+    n_init:
+        Random probes before the surrogate takes over.
+    interleave:
+        Insert one random suggestion every ``interleave`` model-guided ones
+        (0 disables interleaving).
+    n_candidates:
+        Candidate-set size for acquisition maximisation.
+    """
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        n_init: int = 8,
+        interleave: int = 4,
+        n_candidates: int = 512,
+        n_trees: int = 24,
+        acquisition: AcquisitionFunction | None = None,
+        objectives: Objective | list[Objective] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(space, objectives, seed=seed)
+        if n_init < 1:
+            raise OptimizerError(f"n_init must be >= 1, got {n_init}")
+        if interleave < 0:
+            raise OptimizerError(f"interleave must be >= 0, got {interleave}")
+        self.n_init = int(n_init)
+        self.interleave = int(interleave)
+        self.n_candidates = int(n_candidates)
+        self.acquisition = acquisition if acquisition is not None else ExpectedImprovement()
+        self.encoder = OneHotEncoder(space)
+        self.model = RandomForestRegressor(n_trees=n_trees, seed=seed)
+        self._model_stale = True
+        self._suggestion_count = 0
+
+    def _fit_model(self) -> None:
+        trials, y = self.history.training_data(self.objective, self.crash_penalty_factor)
+        if not trials:
+            return
+        X = self.encoder.encode_many([t.config for t in trials])
+        self.model.fit(X, y)
+        self._model_stale = False
+
+    def _suggest(self) -> Configuration:
+        self._suggestion_count += 1
+        n_done = len(self.history.completed())
+        if n_done < self.n_init:
+            return self.space.sample(self.rng)
+        if self.interleave and self._suggestion_count % (self.interleave + 1) == 0:
+            return self.space.sample(self.rng)
+        if self._model_stale:
+            self._fit_model()
+        if not self.model.is_fitted:
+            return self.space.sample(self.rng)
+        cands = [self.space.sample(self.rng) for _ in range(int(self.n_candidates * 0.7))]
+        try:
+            best = self.history.best().config
+            for _ in range(self.n_candidates - len(cands)):
+                scale = float(self.rng.choice([0.02, 0.05, 0.15]))
+                cands.append(self.space.neighbor(best, self.rng, scale=scale))
+        except OptimizerError:
+            pass
+        X = self.encoder.encode_many(cands)
+        mean, std = self.model.predict(X, return_std=True)
+        best_score = float(self.history.scores().min())
+        scores = self.acquisition(mean, std, best_score)
+        return cands[int(np.argmax(scores))]
+
+    def _on_observe(self, trial: Trial) -> None:
+        self._model_stale = True

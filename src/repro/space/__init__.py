@@ -1,0 +1,50 @@
+"""Configuration spaces: knobs, conditions, constraints, priors, adapters."""
+
+from .conditions import (
+    CallableCondition,
+    Condition,
+    EqualsCondition,
+    GreaterThanCondition,
+    InCondition,
+    LessThanCondition,
+)
+from .constraints import (
+    CallableConstraint,
+    Constraint,
+    LinearConstraint,
+    RatioConstraint,
+)
+from .params import (
+    BooleanParameter,
+    CategoricalParameter,
+    FloatParameter,
+    IntegerParameter,
+    Parameter,
+)
+from .priors import BetaPrior, HistogramPrior, NormalPrior, Prior, UniformPrior
+from .space import Configuration, ConfigurationSpace
+
+__all__ = [
+    "CallableCondition",
+    "Condition",
+    "EqualsCondition",
+    "GreaterThanCondition",
+    "InCondition",
+    "LessThanCondition",
+    "CallableConstraint",
+    "Constraint",
+    "LinearConstraint",
+    "RatioConstraint",
+    "BooleanParameter",
+    "CategoricalParameter",
+    "FloatParameter",
+    "IntegerParameter",
+    "Parameter",
+    "BetaPrior",
+    "HistogramPrior",
+    "NormalPrior",
+    "Prior",
+    "UniformPrior",
+    "Configuration",
+    "ConfigurationSpace",
+]

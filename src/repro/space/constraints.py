@@ -1,0 +1,110 @@
+"""Hard constraints across multiple knobs.
+
+The tutorial's "Constrained Optimization" slide gives the canonical example:
+``innodb_buffer_pool_chunk_size <= innodb_buffer_pool_size /
+innodb_buffer_pool_instances``. Constraints may be known closed forms
+(:class:`LinearConstraint`, :class:`RatioConstraint`) or opaque
+(:class:`CallableConstraint` — the black-box constraints SCBO targets).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = [
+    "Constraint",
+    "LinearConstraint",
+    "RatioConstraint",
+    "CallableConstraint",
+]
+
+
+class Constraint(ABC):
+    """A hard feasibility predicate over configuration values."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or type(self).__name__
+
+    @abstractmethod
+    def is_satisfied(self, values: Mapping[str, Any]) -> bool:
+        """True iff the (full, active-resolved) configuration is feasible.
+
+        A constraint referencing an inactive/absent parameter is treated as
+        satisfied — it simply does not apply.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class LinearConstraint(Constraint):
+    """``sum_i coef_i * values[param_i] <= bound`` over numeric knobs."""
+
+    def __init__(
+        self,
+        coefficients: Mapping[str, float],
+        bound: float,
+        name: str = "",
+    ) -> None:
+        super().__init__(name or "linear")
+        if not coefficients:
+            raise ValueError("LinearConstraint needs at least one coefficient")
+        self.coefficients = dict(coefficients)
+        self.bound = float(bound)
+
+    def is_satisfied(self, values: Mapping[str, Any]) -> bool:
+        total = 0.0
+        for param, coef in self.coefficients.items():
+            if param not in values:
+                return True
+            total += coef * float(values[param])
+        return total <= self.bound + 1e-12
+
+
+class RatioConstraint(Constraint):
+    """``values[numerator] <= values[denominator] / values[divisor]``.
+
+    Directly models the MySQL buffer-pool chunk-size rule from the tutorial.
+    ``divisor`` may be omitted for a plain two-knob dominance constraint.
+    """
+
+    def __init__(
+        self,
+        numerator: str,
+        denominator: str,
+        divisor: str | None = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(name or "ratio")
+        self.numerator = numerator
+        self.denominator = denominator
+        self.divisor = divisor
+
+    def is_satisfied(self, values: Mapping[str, Any]) -> bool:
+        needed = [self.numerator, self.denominator] + ([self.divisor] if self.divisor else [])
+        if any(p not in values for p in needed):
+            return True
+        rhs = float(values[self.denominator])
+        if self.divisor is not None:
+            div = float(values[self.divisor])
+            if div == 0:
+                return False
+            rhs /= div
+        return float(values[self.numerator]) <= rhs + 1e-12
+
+
+class CallableConstraint(Constraint):
+    """Black-box constraint: arbitrary predicate over the value mapping."""
+
+    def __init__(self, predicate: Callable[[Mapping[str, Any]], bool], name: str = "") -> None:
+        super().__init__(name or "callable")
+        self.predicate = predicate
+
+    def is_satisfied(self, values: Mapping[str, Any]) -> bool:
+        return bool(self.predicate(values))
+
+
+def all_satisfied(constraints: Sequence[Constraint], values: Mapping[str, Any]) -> bool:
+    """Convenience: True iff every constraint in the list holds."""
+    return all(c.is_satisfied(values) for c in constraints)

@@ -1,0 +1,108 @@
+"""Feature encodings of configurations for numerical surrogates.
+
+The tutorial's "Discrete / Hybrid Optimization" slide lists the common
+approaches for knobs like ``innodb_flush_method``: *impose order, one-hot,*
+or use surrogates that split on categories natively (random forests).
+Encoders turn configurations into fixed-width real vectors and back.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import SpaceError
+from .params import CategoricalParameter
+from .space import Configuration, ConfigurationSpace
+
+__all__ = ["SpaceEncoder", "OrdinalEncoder", "OneHotEncoder"]
+
+
+class SpaceEncoder(ABC):
+    """Bijective-ish map between configurations and ``[0, 1]^n`` vectors."""
+
+    def __init__(self, space: ConfigurationSpace) -> None:
+        self.space = space
+
+    @property
+    @abstractmethod
+    def n_features(self) -> int:
+        """Width of the encoded vector."""
+
+    @abstractmethod
+    def encode(self, config: Configuration) -> np.ndarray:
+        """Configuration → feature vector in ``[0, 1]^n_features``."""
+
+    @abstractmethod
+    def decode(self, x: Sequence[float]) -> Configuration:
+        """Feature vector → configuration (lossy for rounded values)."""
+
+    def encode_many(self, configs: Sequence[Configuration]) -> np.ndarray:
+        if not configs:
+            return np.empty((0, self.n_features))
+        return np.stack([self.encode(c) for c in configs])
+
+
+class OrdinalEncoder(SpaceEncoder):
+    """One dimension per knob; categoricals mapped to bin midpoints.
+
+    Imposes an artificial order on categories — cheap but can mislead
+    distance-based surrogates (see E6).
+    """
+
+    @property
+    def n_features(self) -> int:
+        return self.space.n_dims
+
+    def encode(self, config: Configuration) -> np.ndarray:
+        return self.space.to_unit_array(config)
+
+    def decode(self, x: Sequence[float]) -> Configuration:
+        return self.space.from_unit_array(np.clip(np.asarray(x, dtype=float), 0.0, 1.0))
+
+
+class OneHotEncoder(SpaceEncoder):
+    """Numeric knobs get one unit dim; categoricals get one dim per choice.
+
+    Decoding picks the argmax choice per categorical block, so any real
+    vector decodes to a valid configuration.
+    """
+
+    def __init__(self, space: ConfigurationSpace) -> None:
+        super().__init__(space)
+        self._blocks: list[tuple[str, int, int]] = []  # (name, start, width)
+        offset = 0
+        for p in space.parameters:
+            width = p.n_choices if isinstance(p, CategoricalParameter) else 1
+            self._blocks.append((p.name, offset, width))
+            offset += width
+        self._width = offset
+
+    @property
+    def n_features(self) -> int:
+        return self._width
+
+    def encode(self, config: Configuration) -> np.ndarray:
+        x = np.zeros(self._width)
+        for name, start, width in self._blocks:
+            p = self.space[name]
+            if isinstance(p, CategoricalParameter):
+                x[start + p.index_of(config[name])] = 1.0
+            else:
+                x[start] = p.to_unit(config[name])
+        return x
+
+    def decode(self, x: Sequence[float]) -> Configuration:
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self._width,):
+            raise SpaceError(f"expected vector of length {self._width}, got shape {x.shape}")
+        values = {}
+        for name, start, width in self._blocks:
+            p = self.space[name]
+            if isinstance(p, CategoricalParameter):
+                values[name] = p.choices[int(np.argmax(x[start:start + width]))]
+            else:
+                values[name] = p.from_unit(float(np.clip(x[start], 0.0, 1.0)))
+        return self.space.make(values, check_constraints=False)

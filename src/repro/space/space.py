@@ -1,0 +1,400 @@
+"""Configuration space and configuration objects.
+
+A :class:`ConfigurationSpace` is the set of tunable knobs of a system
+together with conditional-activation rules and hard constraints — the
+domain 𝒳 of the tutorial's optimization problem ``x* = argmin_{x∈𝒳} f(x)``.
+
+A :class:`Configuration` is one point in that space: a frozen mapping from
+knob name to value, with inactive conditional knobs pinned to their defaults.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import (
+    ConstraintViolationError,
+    DuplicateParameterError,
+    SamplingError,
+    SpaceError,
+    UnknownParameterError,
+)
+from .conditions import Condition
+from .constraints import Constraint, all_satisfied
+from .params import CategoricalParameter, Parameter
+from .priors import Prior
+
+__all__ = ["Configuration", "ConfigurationSpace"]
+
+
+class Configuration(Mapping[str, Any]):
+    """An immutable assignment of values to every knob in a space.
+
+    Inactive conditional knobs are present but pinned at their defaults so a
+    configuration can always be applied verbatim to the target system.
+    ``active`` records which knobs the optimizer actually controls here.
+    """
+
+    __slots__ = ("_space", "_values", "_active", "_hash")
+
+    def __init__(self, space: "ConfigurationSpace", values: Mapping[str, Any], active: frozenset[str]) -> None:
+        self._space = space
+        self._values = dict(values)
+        self._active = active
+        self._hash: int | None = None
+
+    @property
+    def space(self) -> "ConfigurationSpace":
+        return self._space
+
+    @property
+    def active(self) -> frozenset[str]:
+        """Names of knobs whose values are under the optimizer's control."""
+        return self._active
+
+    def is_active(self, name: str) -> bool:
+        return name in self._active
+
+    def __getitem__(self, name: str) -> Any:
+        return self._values[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(tuple(sorted((k, repr(v)) for k, v in self._values.items())))
+        return self._hash
+
+    def as_dict(self) -> dict[str, Any]:
+        """A mutable copy of the full value mapping."""
+        return dict(self._values)
+
+    def with_updates(self, **updates: Any) -> "Configuration":
+        """Return a new configuration with some knobs changed (re-validated)."""
+        merged = self.as_dict()
+        merged.update(updates)
+        return self._space.make(merged)
+
+    def to_unit_array(self) -> np.ndarray:
+        return self._space.to_unit_array(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={self._values[k]!r}" for k in self._space.names)
+        return f"Configuration({inner})"
+
+
+class ConfigurationSpace:
+    """The set of knobs of a system, with conditions, constraints, and priors.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.space import ConfigurationSpace, IntegerParameter, BooleanParameter
+    >>> from repro.space import EqualsCondition
+    >>> space = ConfigurationSpace("pg")
+    >>> _ = space.add(BooleanParameter("jit", default=False))
+    >>> _ = space.add(IntegerParameter("jit_above_cost", 0, 10**6, default=10**5))
+    >>> space.add_condition(EqualsCondition("jit_above_cost", "jit", True))
+    >>> cfg = space.make({"jit": False, "jit_above_cost": 5})
+    >>> cfg["jit_above_cost"]  # inactive -> pinned to default
+    100000
+    """
+
+    _MAX_SAMPLE_ATTEMPTS = 10_000
+
+    def __init__(self, name: str = "space", seed: int | None = None) -> None:
+        self.name = name
+        self._params: dict[str, Parameter] = {}
+        self._conditions: dict[str, list[Condition]] = {}
+        self._constraints: list[Constraint] = []
+        self._rng = np.random.default_rng(seed)
+
+    # -- construction ------------------------------------------------------
+    def add(self, param: Parameter) -> Parameter:
+        if param.name in self._params:
+            raise DuplicateParameterError(param.name)
+        self._params[param.name] = param
+        return param
+
+    def add_all(self, params: Iterable[Parameter]) -> None:
+        for p in params:
+            self.add(p)
+
+    def add_condition(self, condition: Condition) -> Condition:
+        for ref in (condition.child, condition.parent):
+            if ref not in self._params:
+                raise UnknownParameterError(ref)
+        if condition.child == condition.parent:
+            raise SpaceError(f"parameter {condition.child!r} cannot condition itself")
+        self._conditions.setdefault(condition.child, []).append(condition)
+        self._check_acyclic()
+        return condition
+
+    def add_constraint(self, constraint: Constraint) -> Constraint:
+        self._constraints.append(constraint)
+        return constraint
+
+    def _check_acyclic(self) -> None:
+        # DFS over child -> parent edges; a cycle would make activation
+        # resolution ill-defined.
+        edges = {child: [c.parent for c in conds] for child, conds in self._conditions.items()}
+        state: dict[str, int] = {}
+
+        def visit(node: str) -> None:
+            if state.get(node) == 1:
+                raise SpaceError(f"condition cycle involving parameter {node!r}")
+            if state.get(node) == 2:
+                return
+            state[node] = 1
+            for parent in edges.get(node, ()):
+                visit(parent)
+            state[node] = 2
+
+        for child in edges:
+            visit(child)
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def names(self) -> list[str]:
+        return list(self._params)
+
+    @property
+    def parameters(self) -> list[Parameter]:
+        return list(self._params.values())
+
+    @property
+    def conditions(self) -> list[Condition]:
+        return [c for conds in self._conditions.values() for c in conds]
+
+    @property
+    def constraints(self) -> list[Constraint]:
+        return list(self._constraints)
+
+    @property
+    def n_dims(self) -> int:
+        return len(self._params)
+
+    def __len__(self) -> int:
+        return len(self._params)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._params
+
+    def __getitem__(self, name: str) -> Parameter:
+        try:
+            return self._params[name]
+        except KeyError:
+            raise UnknownParameterError(name) from None
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise UnknownParameterError(name) from None
+
+    # -- activation ---------------------------------------------------------
+    def active_names(self, values: Mapping[str, Any]) -> frozenset[str]:
+        """Resolve which knobs are active under conditional rules.
+
+        Unconditioned knobs are always active; conditioned knobs are active
+        iff all their conditions hold, evaluated against active parents only.
+        Resolution iterates to a fixpoint (condition graphs are acyclic).
+        """
+        active = {name for name in self._params if name not in self._conditions}
+        for _ in range(len(self._conditions) + 1):
+            visible = {n: values.get(n, self._params[n].default) for n in active}
+            newly = {
+                child
+                for child, conds in self._conditions.items()
+                if child not in active and all(c.parent in active and c.is_active(visible) for c in conds)
+            }
+            if not newly:
+                break
+            active |= newly
+        return frozenset(active)
+
+    # -- construction of configurations --------------------------------------
+    def make(self, values: Mapping[str, Any] | None = None, check_constraints: bool = True) -> Configuration:
+        """Build a configuration, filling gaps with defaults and validating.
+
+        Inactive conditional knobs are silently reset to their defaults;
+        active knobs must carry valid values.
+        """
+        values = dict(values or {})
+        for extra in set(values) - set(self._params):
+            raise UnknownParameterError(extra)
+        full = {name: values.get(name, p.default) for name, p in self._params.items()}
+        active = self.active_names(full)
+        resolved = {
+            name: (full[name] if name in active else self._params[name].default)
+            for name in self._params
+        }
+        for name in active:
+            self._params[name].check(resolved[name])
+        if check_constraints and not all_satisfied(self._constraints, resolved):
+            raise ConstraintViolationError(f"configuration violates constraints: {resolved}")
+        return Configuration(self, resolved, active)
+
+    def default_configuration(self) -> Configuration:
+        return self.make({})
+
+    def is_feasible(self, values: Mapping[str, Any]) -> bool:
+        """True iff the value mapping satisfies every hard constraint."""
+        return all_satisfied(self._constraints, values)
+
+    # -- sampling -------------------------------------------------------------
+    def sample(self, rng: np.random.Generator | None = None) -> Configuration:
+        """Draw one feasible configuration (rejection sampling on constraints)."""
+        rng = rng if rng is not None else self._rng
+        for _ in range(self._MAX_SAMPLE_ATTEMPTS):
+            raw = {name: p.sample(rng) for name, p in self._params.items()}
+            try:
+                return self.make(raw)
+            except ConstraintViolationError:
+                continue
+        raise SamplingError(
+            f"could not sample a feasible configuration from {self.name!r} in "
+            f"{self._MAX_SAMPLE_ATTEMPTS} attempts; constraints may be unsatisfiable"
+        )
+
+    def sample_many(self, n: int, rng: np.random.Generator | None = None) -> list[Configuration]:
+        rng = rng if rng is not None else self._rng
+        return [self.sample(rng) for _ in range(n)]
+
+    # -- encodings --------------------------------------------------------------
+    def to_unit_array(self, config: Mapping[str, Any]) -> np.ndarray:
+        """Encode a configuration as a unit-cube vector, one dim per knob."""
+        return np.array(
+            [p.to_unit(config.get(name, p.default)) for name, p in self._params.items()],
+            dtype=float,
+        )
+
+    def from_unit_array(self, x: Sequence[float], check_constraints: bool = False) -> Configuration:
+        """Decode a unit-cube vector into a configuration.
+
+        Constraint checking is off by default: numerical optimizers produce
+        candidate vectors first and filter feasibility second.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.n_dims,):
+            raise SpaceError(f"expected a vector of length {self.n_dims}, got shape {x.shape}")
+        values = {name: p.from_unit(float(u)) for (name, p), u in zip(self._params.items(), x)}
+        return self.make(values, check_constraints=check_constraints)
+
+    # -- local moves -------------------------------------------------------------
+    def neighbor(
+        self,
+        config: Configuration,
+        rng: np.random.Generator | None = None,
+        scale: float = 0.1,
+        n_moves: int = 1,
+    ) -> Configuration:
+        """Perturb ``n_moves`` random active knobs (annealing / GA mutation)."""
+        rng = rng if rng is not None else self._rng
+        values = config.as_dict()
+        active = sorted(config.active)
+        for _ in range(self._MAX_SAMPLE_ATTEMPTS // 100):
+            candidate = dict(values)
+            moved = rng.choice(active, size=min(n_moves, len(active)), replace=False)
+            for name in moved:
+                candidate[name] = self._params[name].neighbor(candidate[name], rng, scale)
+            try:
+                return self.make(candidate)
+            except ConstraintViolationError:
+                continue
+        return config
+
+    # -- grids ----------------------------------------------------------------------
+    def grid(self, points_per_dim: int = 5, max_points: int = 100_000) -> list[Configuration]:
+        """Cartesian grid over all knobs (classic grid search).
+
+        Numeric knobs get ``points_per_dim`` evenly spaced unit positions;
+        categoricals enumerate all choices. Infeasible points are dropped.
+        """
+        axes: list[list[Any]] = []
+        for p in self._params.values():
+            if isinstance(p, CategoricalParameter):
+                axes.append(list(p.choices))
+            else:
+                units = np.linspace(0.0, 1.0, points_per_dim)
+                seen: list[Any] = []
+                for u in units:
+                    v = p.from_unit(float(u))
+                    if v not in seen:
+                        seen.append(v)
+                axes.append(seen)
+        total = 1
+        for axis in axes:
+            total *= len(axis)
+            if total > max_points:
+                raise SpaceError(
+                    f"grid would have more than {max_points} points; "
+                    "reduce points_per_dim or tune fewer knobs"
+                )
+        configs = []
+        for combo in itertools.product(*axes):
+            try:
+                configs.append(self.make(dict(zip(self.names, combo))))
+            except ConstraintViolationError:
+                continue
+        # Conditional knobs collapse distinct combos onto the same resolved
+        # configuration; deduplicate while preserving order.
+        unique: dict[Configuration, None] = dict.fromkeys(configs)
+        return list(unique)
+
+    # -- derived spaces -------------------------------------------------------------
+    def subspace(self, names: Sequence[str], name: str | None = None) -> "ConfigurationSpace":
+        """A space over a subset of knobs (e.g. only the important ones).
+
+        Conditions and constraints are kept when every knob they mention is
+        included, otherwise dropped — the excluded knobs stay at defaults.
+        """
+        keep = set(names)
+        for n in keep:
+            if n not in self._params:
+                raise UnknownParameterError(n)
+        sub = ConfigurationSpace(name or f"{self.name}[{len(keep)} knobs]")
+        for n, p in self._params.items():
+            if n in keep:
+                sub.add(p)
+        for cond in self.conditions:
+            if cond.child in keep and cond.parent in keep:
+                sub.add_condition(cond)
+        for con in self._constraints:
+            mentioned = _constraint_params(con)
+            if mentioned is not None and mentioned <= keep:
+                sub.add_constraint(con)
+        return sub
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConfigurationSpace(name={self.name!r}, n_dims={self.n_dims})"
+
+
+def _constraint_params(constraint: Constraint) -> set[str] | None:
+    """Best-effort extraction of the knob names a constraint mentions.
+
+    Returns None for black-box constraints whose dependencies are unknown —
+    subspacing drops those to stay safe.
+    """
+    from .constraints import LinearConstraint, RatioConstraint
+
+    if isinstance(constraint, LinearConstraint):
+        return set(constraint.coefficients)
+    if isinstance(constraint, RatioConstraint):
+        names = {constraint.numerator, constraint.denominator}
+        if constraint.divisor:
+            names.add(constraint.divisor)
+        return names
+    return None

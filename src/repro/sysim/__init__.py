@@ -1,0 +1,30 @@
+"""Simulated systems substrate: DBMS, Redis, Spark, cloud noise, telemetry."""
+
+from .cloud import QUIET_CLOUD, VM_SIZES, CloudEnvironment, Machine, VMSize
+from .dbms import FLUSH_METHODS, SimulatedDBMS
+from .nginx import NginxServer, web_workload
+from .redis import RedisServer, redis_benchmark_workload
+from .spark import SparkCluster
+from .system import KnobLevel, PerfProfile, SimulatedSystem
+from .telemetry import TELEMETRY_CHANNELS, TelemetryTrace, generate_telemetry
+
+__all__ = [
+    "QUIET_CLOUD",
+    "VM_SIZES",
+    "CloudEnvironment",
+    "Machine",
+    "VMSize",
+    "FLUSH_METHODS",
+    "SimulatedDBMS",
+    "NginxServer",
+    "web_workload",
+    "RedisServer",
+    "redis_benchmark_workload",
+    "SparkCluster",
+    "KnobLevel",
+    "PerfProfile",
+    "SimulatedSystem",
+    "TELEMETRY_CHANNELS",
+    "TelemetryTrace",
+    "generate_telemetry",
+]

@@ -1,0 +1,259 @@
+"""Simulated DBMS: a PostgreSQL/MySQL-flavoured analytical performance model.
+
+This is the substrate for the offline-tuning experiments. It exposes ~20
+knobs of wildly varying importance — mirroring the tutorial's "Why is
+Autotuning Hard?" point that real systems have hundreds of knobs of which a
+handful matter — including:
+
+* a **categorical** knob (``flush_method``, the tutorial's
+  ``innodb_flush_method`` example),
+* **conditional** knobs (``jit_above_cost`` only matters when ``jit=on`` —
+  the structured-space example),
+* a **constraint** (WAL buffer must fit in the buffer pool — the
+  chunk-size-style example), and
+* a **crash region** (memory over-commit ⇒ :class:`SystemCrashError`), the
+  knowledge-transfer slide's "bad samples: reuse everywhere" case.
+
+The model is a queueing-flavoured composition of cache hit ratio, I/O cost,
+commit durability cost, sort spill, and thread contention. Absolute numbers
+are stylised; the *structure* (which knobs matter for which workloads, where
+the cliffs are) is what experiments rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from ..exceptions import SystemCrashError
+from ..space import (
+    BooleanParameter,
+    CategoricalParameter,
+    Configuration,
+    ConfigurationSpace,
+    EqualsCondition,
+    FloatParameter,
+    IntegerParameter,
+    LinearConstraint,
+)
+from ..workloads import Workload
+from .system import KnobLevel, PerfProfile, SimulatedSystem
+
+__all__ = ["SimulatedDBMS", "FLUSH_METHODS"]
+
+#: Commit-path cost multiplier per flush method (lower = faster, less safe).
+FLUSH_METHODS: dict[str, float] = {
+    "fsync": 1.00,
+    "O_DSYNC": 0.90,
+    "littlesync": 0.80,
+    "O_DIRECT": 0.70,
+    "O_DIRECT_NO_FSYNC": 0.55,
+    "nosync": 0.40,
+}
+
+#: Extra read-path efficiency for direct I/O (skips double buffering).
+_DIRECT_READ_BONUS = {"O_DIRECT": 0.85, "O_DIRECT_NO_FSYNC": 0.85}
+
+_LOG_LEVEL_COST = {"minimal": 0.98, "normal": 1.0, "verbose": 1.05, "debug": 1.18}
+
+
+class SimulatedDBMS(SimulatedSystem):
+    """A tunable relational DBMS running on a cloud VM.
+
+    The VM shape comes from the environment; knob ranges scale with its RAM
+    (an 8 GB box should not offer a 64 GB buffer pool — the marginal-
+    constraints slide).
+    """
+
+    #: Ground truth for the knob-importance experiments (E14): these knobs
+    #: carry almost all of the performance signal.
+    IMPORTANT_KNOBS = (
+        "buffer_pool_mb",
+        "worker_threads",
+        "flush_method",
+        "work_mem_mb",
+        "checkpoint_interval_s",
+    )
+
+    #: Knobs with a real but second-order effect.
+    MINOR_KNOBS = (
+        "wal_buffer_mb",
+        "io_concurrency",
+        "parallel_workers",
+        "jit",
+        "jit_above_cost",
+        "compression",
+        "log_level",
+        "autovacuum_workers",
+        "random_page_cost",
+    )
+
+    #: Knobs with (near-)zero effect — importance methods must rank them last.
+    JUNK_KNOBS = (
+        "stats_target",
+        "deadlock_timeout_ms",
+        "tcp_keepalive_s",
+        "cursor_tuple_fraction",
+        "geqo_threshold",
+        "bgwriter_delay_ms",
+        "temp_buffers_mb",
+    )
+
+    def build_space(self) -> ConfigurationSpace:
+        ram = self.env.vm.ram_mb if hasattr(self, "env") else 16 * 1024
+        space = ConfigurationSpace("dbms")
+        space.add(IntegerParameter("buffer_pool_mb", 64, ram, default=128, log=True))
+        space.add(IntegerParameter("worker_threads", 1, 256, default=8, log=True))
+        space.add(CategoricalParameter("flush_method", list(FLUSH_METHODS), default="fsync"))
+        space.add(IntegerParameter("work_mem_mb", 1, 2048, default=4, log=True))
+        space.add(IntegerParameter("checkpoint_interval_s", 30, 3600, default=300, log=True))
+        space.add(IntegerParameter("wal_buffer_mb", 1, 512, default=16, log=True))
+        space.add(IntegerParameter("io_concurrency", 1, 64, default=2, log=True))
+        space.add(IntegerParameter("parallel_workers", 0, 16, default=2))
+        space.add(BooleanParameter("jit", default=False))
+        space.add(IntegerParameter("jit_above_cost", 10_000, 10_000_000, default=100_000, log=True))
+        space.add_condition(EqualsCondition("jit_above_cost", "jit", True))
+        space.add(BooleanParameter("compression", default=False))
+        space.add(CategoricalParameter("log_level", list(_LOG_LEVEL_COST), default="normal"))
+        space.add(IntegerParameter("autovacuum_workers", 1, 16, default=3))
+        space.add(FloatParameter("random_page_cost", 1.0, 8.0, default=4.0))
+        # Junk knobs.
+        space.add(IntegerParameter("stats_target", 10, 1000, default=100, log=True))
+        space.add(IntegerParameter("deadlock_timeout_ms", 100, 10_000, default=1000, log=True))
+        space.add(IntegerParameter("tcp_keepalive_s", 10, 600, default=60))
+        space.add(FloatParameter("cursor_tuple_fraction", 0.01, 1.0, default=0.1))
+        space.add(IntegerParameter("geqo_threshold", 2, 20, default=12))
+        space.add(IntegerParameter("bgwriter_delay_ms", 10, 1000, default=200, log=True))
+        space.add(IntegerParameter("temp_buffers_mb", 1, 256, default=8, log=True))
+        # WAL buffers must fit comfortably inside the buffer pool — the
+        # tutorial's innodb chunk-size-style closed-form constraint.
+        space.add_constraint(
+            LinearConstraint({"wal_buffer_mb": 1.0, "buffer_pool_mb": -0.5}, 0.0, name="wal_fits_bp")
+        )
+        return space
+
+    def knob_levels(self) -> Mapping[str, KnobLevel]:
+        return {
+            "buffer_pool_mb": KnobLevel.STARTUP,
+            "worker_threads": KnobLevel.STARTUP,
+            "flush_method": KnobLevel.STARTUP,
+            "wal_buffer_mb": KnobLevel.STARTUP,
+            # everything else is runtime-adjustable
+        }
+
+    # -- memory accounting ----------------------------------------------------
+    def memory_demand_mb(self, config: Configuration, workload: Workload) -> float:
+        """Estimated peak memory use: buffer pool + per-thread work memory."""
+        active_threads = min(config["worker_threads"], workload.concurrency)
+        return (
+            config["buffer_pool_mb"]
+            + active_threads * config["work_mem_mb"] * 0.25
+            + config["wal_buffer_mb"]
+            + config["temp_buffers_mb"]
+            + 256.0  # fixed overhead (code, catalogs, connections)
+        )
+
+    # -- performance model -------------------------------------------------------
+    def performance(self, config: Configuration, workload: Workload) -> PerfProfile:
+        ram = self.env.vm.ram_mb
+        cores = self.env.vm.vcpus
+        if self.memory_demand_mb(config, workload) > 0.92 * ram:
+            raise SystemCrashError(
+                f"DBMS OOM: demand {self.memory_demand_mb(config, workload):.0f} MB "
+                f"exceeds {0.92 * ram:.0f} MB budget"
+            )
+
+        # --- cache hit ratio: small pools catch the hot set under skew ---
+        coverage = min(1.0, config["buffer_pool_mb"] / workload.working_set_mb)
+        hit_ratio = coverage ** (1.0 / (1.0 + 4.0 * workload.skew))
+
+        # --- read paths ---
+        direct_bonus = _DIRECT_READ_BONUS.get(config["flush_method"], 1.0)
+        io_read_ms = 2.0 * direct_bonus / (1.0 + 0.30 * math.log2(config["io_concurrency"]))
+        if config["compression"]:
+            io_read_ms *= 0.70  # fewer bytes moved…
+        point_read_ms = 0.05 + (1.0 - hit_ratio) * io_read_ms
+
+        # Scans stream through data; size matters, parallel workers help.
+        scan_base_ms = 4.0 * (workload.data_size_mb / 10_000.0) ** 0.5
+        parallelism = 1.0 + 0.7 * min(config["parallel_workers"], max(1, cores - 1))
+        scan_ms = scan_base_ms / parallelism
+        scan_ms += (1.0 - hit_ratio) * io_read_ms * 2.0
+        # Planner constant: scans plan best when random_page_cost matches the
+        # (SSD-like) simulated storage, optimum near 1.5.
+        scan_ms *= 1.0 + 0.04 * abs(config["random_page_cost"] - 1.5)
+        # JIT pays off for big scans if the cost threshold lets it kick in.
+        jit_overhead = 1.0
+        if config["jit"]:
+            query_cost = 1e4 + 1e5 * (workload.data_size_mb / 1000.0)
+            if config["jit_above_cost"] <= query_cost:
+                scan_ms *= 0.72  # compiled expressions
+                jit_overhead = 1.02  # compilation overhead on the session
+            else:
+                jit_overhead = 1.01  # enabled but never triggers
+
+        # Sort/join memory: undersized work_mem spills to disk.
+        needed_mb = 4.0 + workload.sort_intensity * 64.0 * (workload.data_size_mb / 1000.0) ** 0.5
+        spill = max(1.0, needed_mb / config["work_mem_mb"])
+        sort_penalty = 1.0 + workload.sort_intensity * 0.5 * math.log2(spill)
+        scan_ms *= sort_penalty
+
+        # --- write path ---
+        flush_mult = FLUSH_METHODS[config["flush_method"]]
+        commit_ms = 0.10 + 1.5 * flush_mult * workload.commit_sensitivity
+        wal_stall = 1.0 + 0.25 * max(0.0, math.log2(16.0 / config["wal_buffer_mb"]))
+        ckpt = config["checkpoint_interval_s"]
+        ckpt_write_penalty = 1.0 + 0.35 * (300.0 / ckpt) ** 0.5  # frequent ⇒ extra flushes
+        write_ms = (0.08 + commit_ms) * wal_stall * ckpt_write_penalty
+        if config["compression"]:
+            write_ms *= 1.12  # CPU to compress on the write path
+        # Autovacuum: too few workers ⇒ bloat slows writes; too many ⇒ interference.
+        av = config["autovacuum_workers"]
+        write_ms *= 1.0 + 0.03 * abs(av - 4) / 4.0 * workload.write_fraction
+
+        # --- blend into one operation cost ---
+        rf, sf = workload.read_fraction, workload.scan_fraction
+        read_ms = (1.0 - sf) * point_read_ms + sf * scan_ms
+        op_ms = rf * read_ms + (1.0 - rf) * write_ms
+        op_ms *= jit_overhead
+        op_ms *= _LOG_LEVEL_COST[config["log_level"]]
+        # Junk knobs: deliberately negligible effects.
+        op_ms *= 1.0 + 0.002 * abs(math.log10(config["stats_target"] / 100.0))
+        op_ms *= 1.0 + 0.001 * abs(math.log10(config["bgwriter_delay_ms"] / 200.0))
+
+        # --- concurrency: queueing for threads, contention past the cores ---
+        threads = config["worker_threads"]
+        queue_ratio = workload.concurrency / threads
+        queue_mult = 1.0 + 0.15 * max(0.0, queue_ratio - 1.0) ** 0.7
+        contention = 1.0 + 0.05 * max(0.0, threads - 4.0 * cores) / cores
+        latency_ms = op_ms * queue_mult * contention
+
+        # --- tail behaviour ---
+        spread = 1.8 + 0.6 * (ckpt / 3600.0) ** 0.5 * workload.write_fraction
+        spread += 0.3 * max(0.0, queue_ratio - 1.0) ** 0.5
+        spread = min(spread, 6.0)
+
+        # --- throughput ceiling ---
+        # Threads overlap I/O waits, so the thread-count cap uses the full
+        # operation time while the CPU cap only counts on-CPU work.
+        io_wait_ms = (
+            rf * (1.0 - sf) * (1.0 - hit_ratio) * io_read_ms
+            + rf * sf * (1.0 - hit_ratio) * io_read_ms * 2.0
+            + (1.0 - rf) * commit_ms * 0.9
+        )
+        cpu_ms = max(0.02, op_ms - io_wait_ms)
+        thread_cap = threads * 1000.0 / (op_ms * contention)
+        cpu_cap = cores * 2.0 * 1000.0 / (cpu_ms * contention)
+        throughput_cap = min(thread_cap, cpu_cap)
+
+        mem_util = self.memory_demand_mb(config, workload) / ram
+        cpu_util = min(1.0, workload.concurrency * op_ms / (cores * 1000.0) * 0.4 + 0.1)
+        io_util = min(1.0, (1.0 - hit_ratio) * 0.8 + workload.write_fraction * 0.3 * flush_mult)
+        return PerfProfile(
+            latency_avg_ms=latency_ms,
+            latency_spread=spread,
+            throughput_cap=throughput_cap,
+            cpu_util=cpu_util,
+            mem_util=mem_util,
+            io_util=io_util,
+        )

@@ -1,0 +1,153 @@
+"""Simulated Nginx — the web-server member of the tutorial's system list.
+
+("System: Redis, MySQL, Postgres, **Nginx**, …" — slide 8.) A
+static-content web server whose performance model exercises tuning
+structure the DBMS does not: per-connection capacity limits
+(workers × worker_connections), keep-alive reconnect amortisation against
+client think time, a CPU-vs-bytes trade-off (gzip level), and logging
+overhead. Defaults mirror stock nginx.conf — famously one worker process.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from ..exceptions import SystemCrashError
+from ..space import (
+    BooleanParameter,
+    CategoricalParameter,
+    Configuration,
+    ConfigurationSpace,
+    EqualsCondition,
+    IntegerParameter,
+)
+from ..workloads import Workload
+from .system import KnobLevel, PerfProfile, SimulatedSystem
+
+__all__ = ["NginxServer", "web_workload"]
+
+
+def web_workload(
+    concurrency: int = 400,
+    mean_response_kb: float = 64.0,
+    large_fraction: float = 0.2,
+    think_time_ms: float = 50.0,
+    n_files: int = 20_000,
+) -> Workload:
+    """A static-content serving workload.
+
+    ``large_fraction`` maps to ``scan_fraction`` (big, compressible
+    responses); ``think_time_ms`` is the client gap between requests that
+    keep-alive must bridge.
+    """
+    data_mb = n_files * mean_response_kb / 1024.0
+    return Workload(
+        name=f"web-{concurrency}c",
+        read_fraction=0.98,
+        scan_fraction=large_fraction,
+        data_size_mb=data_mb,
+        working_set_mb=max(1.0, data_mb * 0.3),
+        skew=0.9,  # web content is extremely skewed
+        concurrency=concurrency,
+        sort_intensity=0.0,
+        commit_sensitivity=0.0,
+        think_time_ms=think_time_ms,
+        tags=("web", "nginx"),
+    )
+
+
+class NginxServer(SimulatedSystem):
+    """Nginx serving static content on a cloud VM."""
+
+    IMPORTANT_KNOBS = ("worker_processes", "worker_connections", "keepalive_timeout_s", "gzip")
+
+    restart_penalty_s = 2.0  # nginx reloads are cheap
+
+    def build_space(self) -> ConfigurationSpace:
+        space = ConfigurationSpace("nginx")
+        space.add(IntegerParameter("worker_processes", 1, 64, default=1, log=True))
+        space.add(IntegerParameter("worker_connections", 256, 65_536, default=512, log=True))
+        space.add(IntegerParameter("keepalive_timeout_s", 0, 300, default=75))
+        space.add(IntegerParameter("keepalive_requests", 10, 10_000, default=100, log=True))
+        space.add(BooleanParameter("gzip", default=False))
+        space.add(IntegerParameter("gzip_level", 1, 9, default=6))
+        space.add_condition(EqualsCondition("gzip_level", "gzip", True))
+        space.add(BooleanParameter("sendfile", default=True))
+        space.add(CategoricalParameter("access_log", ["off", "buffered", "unbuffered"], default="unbuffered"))
+        space.add(IntegerParameter("open_file_cache", 16, 100_000, default=1000, log=True))
+        space.add(IntegerParameter("client_body_buffer_kb", 8, 1024, default=16, log=True))
+        return space
+
+    def knob_levels(self) -> Mapping[str, KnobLevel]:
+        return {
+            "worker_processes": KnobLevel.STARTUP,
+            "worker_connections": KnobLevel.STARTUP,
+        }
+
+    def performance(self, config: Configuration, workload: Workload) -> PerfProfile:
+        cores = self.env.vm.vcpus
+        ram = self.env.vm.ram_mb
+
+        # Connection memory: each held connection costs a buffer.
+        conn_mem_mb = workload.concurrency * config["client_body_buffer_kb"] / 1024.0
+        if conn_mem_mb + 128 > 0.9 * ram:
+            raise SystemCrashError(
+                f"nginx OOM: {conn_mem_mb:.0f} MB of connection buffers on {ram} MB"
+            )
+
+        workers = config["worker_processes"]
+        effective_workers = min(workers, cores)
+        # Too many workers: context-switch churn.
+        contention = 1.0 + 0.03 * max(0, workers - 2 * cores)
+
+        # Per-request service time. Responses are bimodal: small assets
+        # (~16 KB) and large pages/bundles (~512 KB, the compressible ones).
+        small_kb, large_kb = 16.0, 512.0
+        large = workload.scan_fraction
+        cpu_ms = 0.04 + (small_kb * (1 - large) + large_kb * large) / 2000.0  # parse + copy
+        large_transfer_ms = large_kb / 120.0  # ~1 Gbps per connection share
+        small_transfer_ms = small_kb / 120.0
+        if config["gzip"]:
+            level = config["gzip_level"]
+            ratio = max(0.2, 0.75 - 0.04 * level)  # diminishing compression returns
+            large_transfer_ms *= ratio
+            # Compression cost grows with level *and* bytes compressed.
+            cpu_ms += large * (large_kb / 128.0) * 0.02 * level**1.5
+        transfer_ms = (1 - large) * small_transfer_ms + large * large_transfer_ms
+        if not config["sendfile"]:
+            cpu_ms *= 1.25  # userspace copy path
+
+        # File-descriptor cache: misses add an open()+stat() penalty.
+        n_files = max(1.0, workload.data_size_mb * 16)
+        fd_coverage = min(1.0, config["open_file_cache"] / n_files)
+        fd_hit = fd_coverage ** (1.0 / (1.0 + 4.0 * workload.skew))
+        cpu_ms += (1.0 - fd_hit) * 0.15
+
+        # Keep-alive: reconnects cost a handshake amortised per request.
+        think_s = workload.think_time_ms / 1000.0
+        if config["keepalive_timeout_s"] <= think_s:
+            reconnect_ms = 1.2  # TCP+TLS handshake on almost every request
+        else:
+            # Connection survives ~keepalive_requests before rotation.
+            reconnect_ms = 1.2 / max(1, config["keepalive_requests"])
+        # But long timeouts hold memory: handled via conn_mem above.
+
+        log_cost = {"off": 0.0, "buffered": 0.01, "unbuffered": 0.08}[config["access_log"]]
+        request_ms = (cpu_ms + transfer_ms + reconnect_ms + log_cost) * contention
+
+        # Connection capacity: excess connections queue at accept().
+        capacity = workers * config["worker_connections"]
+        overload = max(0.0, workload.concurrency / capacity - 1.0)
+        request_ms *= 1.0 + 2.0 * overload
+
+        throughput_cap = effective_workers * 1000.0 / (cpu_ms * contention + 0.01)
+        spread = 1.6 + 1.5 * min(1.0, overload) + 0.4 * (1.0 - fd_hit)
+        return PerfProfile(
+            latency_avg_ms=request_ms,
+            latency_spread=min(spread, 6.0),
+            throughput_cap=throughput_cap,
+            cpu_util=min(1.0, 0.1 + cpu_ms * workload.concurrency / (cores * 50.0)),
+            mem_util=min(1.0, (conn_mem_mb + 128) / ram),
+            io_util=min(1.0, 0.05 + log_cost * 2 + (1.0 - fd_hit) * 0.3),
+        )

@@ -1,0 +1,190 @@
+"""Simulated Spark cluster — the tutorial's "Spark Tuning Game" target.
+
+The motivating exercise asks attendees to hand-tune TPC-H Q1 runtime in at
+most 100 tries. This model reproduces the game's difficulty: executor
+sizing, shuffle parallelism, and memory fractions interact, with spill
+cliffs and task-overhead walls, so greedy single-knob reasoning stalls
+while a model-guided tuner keeps improving.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from ..exceptions import ReproError, SystemCrashError
+from ..space import (
+    BooleanParameter,
+    CategoricalParameter,
+    Configuration,
+    ConfigurationSpace,
+    FloatParameter,
+    IntegerParameter,
+)
+from ..workloads import TPCH_QUERIES, TpchQuery, Workload, tpch
+from .system import KnobLevel, PerfProfile, SimulatedSystem
+
+__all__ = ["SparkCluster"]
+
+#: Single-core cost of scanning one GB (seconds).
+_SCAN_S_PER_GB = 8.0
+#: Single-core cost of shuffling one GB (seconds).
+_SHUFFLE_S_PER_GB = 20.0
+#: Scheduling overhead per task (seconds).
+_TASK_OVERHEAD_S = 0.012
+
+
+class SparkCluster(SimulatedSystem):
+    """A Spark cluster of ``n_nodes`` worker VMs running TPC-H queries."""
+
+    IMPORTANT_KNOBS = (
+        "executor_instances",
+        "executor_cores",
+        "executor_memory_mb",
+        "shuffle_partitions",
+    )
+
+    def __init__(self, n_nodes: int = 10, env=None, seed: int | None = None) -> None:
+        if n_nodes < 1:
+            raise ReproError(f"n_nodes must be >= 1, got {n_nodes}")
+        self.n_nodes = int(n_nodes)
+        super().__init__(env=env, seed=seed)
+
+    def build_space(self) -> ConfigurationSpace:
+        space = ConfigurationSpace("spark")
+        space.add(IntegerParameter("executor_instances", 1, 50, default=2, log=True))
+        space.add(IntegerParameter("executor_cores", 1, 8, default=2))
+        space.add(IntegerParameter("executor_memory_mb", 512, 16_384, default=2048, log=True))
+        space.add(IntegerParameter("shuffle_partitions", 8, 2000, default=200, log=True))
+        space.add(FloatParameter("memory_fraction", 0.3, 0.9, default=0.6, quantization=0.05))
+        space.add(IntegerParameter("broadcast_threshold_mb", 1, 512, default=10, log=True))
+        space.add(BooleanParameter("compress_shuffle", default=True))
+        space.add(CategoricalParameter("serializer", ["java", "kryo"], default="java"))
+        space.add(BooleanParameter("speculation", default=False))
+        return space
+
+    def knob_levels(self) -> Mapping[str, KnobLevel]:
+        # Spark session configs apply per job: all runtime.
+        return {}
+
+    # -- cluster capacity ------------------------------------------------------
+    @property
+    def total_cluster_cores(self) -> int:
+        return self.n_nodes * self.env.vm.vcpus
+
+    @property
+    def total_cluster_ram_mb(self) -> int:
+        return self.n_nodes * self.env.vm.ram_mb
+
+    def _check_allocatable(self, config: Configuration) -> None:
+        want_mem = config["executor_instances"] * config["executor_memory_mb"]
+        if want_mem > 0.9 * self.total_cluster_ram_mb:
+            raise SystemCrashError(
+                f"cannot allocate {want_mem} MB of executors on a "
+                f"{self.total_cluster_ram_mb} MB cluster"
+            )
+        want_cores = config["executor_instances"] * config["executor_cores"]
+        if want_cores > 2 * self.total_cluster_cores:
+            raise SystemCrashError(
+                f"requested {want_cores} executor cores on a "
+                f"{self.total_cluster_cores}-core cluster"
+            )
+        if config["executor_memory_mb"] < 300 * config["executor_cores"]:
+            raise SystemCrashError(
+                "executor OOM: less than 300 MB per core "
+                f"({config['executor_memory_mb']} MB / {config['executor_cores']} cores)"
+            )
+
+    # -- query runtime model ------------------------------------------------------
+    def query_runtime_s(
+        self,
+        query: int | TpchQuery,
+        scale_factor: float = 10.0,
+        config: Configuration | None = None,
+    ) -> float:
+        """Noise-free runtime of one TPC-H query at the given scale factor."""
+        q = TPCH_QUERIES[query] if isinstance(query, int) else query
+        if scale_factor <= 0:
+            raise ReproError(f"scale_factor must be positive, got {scale_factor}")
+        config = config if config is not None else self.current_config
+        self._check_allocatable(config)
+
+        instances = config["executor_instances"]
+        cores = config["executor_cores"]
+        total_cores = instances * cores
+        # Oversubscribed clusters timeshare.
+        effective_cores = min(total_cores, self.total_cluster_cores)
+
+        # --- scan phase (Amdahl) ---
+        scan_gb = q.scan_gb_per_sf * scale_factor
+        scan_work = scan_gb * _SCAN_S_PER_GB
+        scan_s = scan_work * ((1.0 - q.parallel_fraction) + q.parallel_fraction / effective_cores)
+
+        # --- shuffle phase ---
+        shuffle_gb = scan_gb * q.selectivity * (0.3 + q.join_intensity)
+        # Broadcast joins skip the shuffle of the small side.
+        small_side_mb = 24.0 * scale_factor * q.join_intensity
+        if q.join_intensity > 0 and config["broadcast_threshold_mb"] >= small_side_mb:
+            shuffle_gb *= 0.6
+        shuffle_work = shuffle_gb * _SHUFFLE_S_PER_GB
+        if config["compress_shuffle"]:
+            shuffle_work *= 0.75
+        if config["serializer"] == "kryo":
+            shuffle_work *= 0.80
+        shuffle_s = shuffle_work / math.sqrt(max(1.0, effective_cores))
+
+        # --- partitioning: too few starves cores, too many drowns in tasks ---
+        partitions = config["shuffle_partitions"]
+        starve = max(1.0, effective_cores / partitions)
+        # Per-task cost has a parallel part and a serial driver-side part
+        # (scheduling is centralised), so drowning the driver in tiny tasks
+        # hurts no matter how many cores there are.
+        task_overhead_s = (
+            _TASK_OVERHEAD_S * partitions / max(1, effective_cores) * (2.0 + q.join_intensity)
+            + 0.004 * partitions
+        )
+        if config["speculation"]:
+            task_overhead_s *= 1.15  # duplicate attempts
+            shuffle_s *= 0.95  # but stragglers hurt less
+
+        # --- memory: spill when per-task execution memory is short ---
+        exec_mem_mb = config["executor_memory_mb"] * config["memory_fraction"] / cores
+        needed_mb = 1024.0 * scale_factor * (q.sort_intensity + q.join_intensity) / max(1, partitions) * 20.0
+        spill = max(1.0, needed_mb / max(1.0, exec_mem_mb))
+        spill_mult = 1.0 + 0.6 * math.log2(spill)
+
+        runtime = (scan_s + shuffle_s * spill_mult) * starve + task_overhead_s + 1.0
+        return float(runtime)
+
+    # -- SimulatedSystem interface ---------------------------------------------------
+    def performance(self, config: Configuration, workload: Workload) -> PerfProfile:
+        """Aggregate profile: mix-average TPC-H query latency at the
+        workload's scale factor."""
+        sf = workload.scale_factor
+        runtimes = [self.query_runtime_s(q, sf, config) for q in sorted(TPCH_QUERIES)]
+        avg_s = sum(runtimes) / len(runtimes)
+        total_cores = config["executor_instances"] * config["executor_cores"]
+        return PerfProfile(
+            latency_avg_ms=avg_s * 1000.0,
+            latency_spread=2.2,
+            throughput_cap=workload.concurrency / max(avg_s, 1e-6),
+            cpu_util=min(1.0, total_cores / self.total_cluster_cores),
+            mem_util=min(
+                1.0,
+                config["executor_instances"] * config["executor_memory_mb"] / self.total_cluster_ram_mb,
+            ),
+            io_util=0.5,
+        )
+
+    def q1_game_evaluator(self, scale_factor: float = 10.0, noise: bool = True):
+        """Evaluator for the tuning game: TPC-H Q1 runtime in seconds."""
+
+        def evaluate(config: Configuration):
+            runtime = self.query_runtime_s(1, scale_factor, config)
+            if noise:
+                machine = self._home_machine
+                self.env.advance(machine)
+                runtime *= self.env.slowdown(machine)
+            return runtime, runtime
+
+        return evaluate

@@ -1,0 +1,47 @@
+"""Workload identification: features, embeddings, similarity, shift
+detection, synthetic benchmark generation."""
+
+from .embedding import PCAEmbedding, RandomProjectionEmbedding, WorkloadEmbedder
+from .forecasting import SeasonalForecaster
+from .features import (
+    QUERY_FEATURE_NAMES,
+    TELEMETRY_FEATURE_NAMES,
+    QueryRecord,
+    query_log_features,
+    synthetic_query_log,
+    telemetry_features,
+)
+from .shift_detection import PageHinkleyDetector, WindowShiftDetector
+from .similarity import (
+    clustering_accuracy,
+    cosine_similarity,
+    euclidean_distance,
+    kmeans,
+    knn_indices,
+    silhouette_score,
+)
+from .synthesis import blend_mixture, mixture_weights, synthesize_benchmark
+
+__all__ = [
+    "PCAEmbedding",
+    "RandomProjectionEmbedding",
+    "WorkloadEmbedder",
+    "QUERY_FEATURE_NAMES",
+    "TELEMETRY_FEATURE_NAMES",
+    "QueryRecord",
+    "query_log_features",
+    "synthetic_query_log",
+    "telemetry_features",
+    "SeasonalForecaster",
+    "PageHinkleyDetector",
+    "WindowShiftDetector",
+    "clustering_accuracy",
+    "cosine_similarity",
+    "euclidean_distance",
+    "kmeans",
+    "knn_indices",
+    "silhouette_score",
+    "blend_mixture",
+    "mixture_weights",
+    "synthesize_benchmark",
+]

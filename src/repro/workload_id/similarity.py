@@ -1,0 +1,138 @@
+"""Similarity, clustering, and matching over workload embeddings (slide 88).
+
+"Problem: how to determine what systems/workloads are similar? … need a
+distance / similarity metric between workloads." Provides the kernel
+distances, k-means (with k-means++ seeding), kNN matching, and a silhouette
+quality score — all from scratch on numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "euclidean_distance",
+    "cosine_similarity",
+    "kmeans",
+    "knn_indices",
+    "silhouette_score",
+    "clustering_accuracy",
+]
+
+
+def euclidean_distance(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.linalg.norm(np.asarray(a, dtype=float) - np.asarray(b, dtype=float)))
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom == 0:
+        return 0.0
+    return float(a @ b / denom)
+
+
+def _pairwise_sq(X: np.ndarray, C: np.ndarray) -> np.ndarray:
+    return (
+        np.sum(X * X, axis=1)[:, None]
+        + np.sum(C * C, axis=1)[None, :]
+        - 2.0 * X @ C.T
+    )
+
+
+def kmeans(
+    X: np.ndarray,
+    k: int,
+    n_iter: int = 50,
+    rng: np.random.Generator | None = None,
+    n_init: int = 8,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's algorithm, k-means++ seeding, best of ``n_init`` restarts.
+
+    Returns (labels, centroids) of the restart with the lowest within-
+    cluster sum of squares — single inits routinely merge nearby clusters.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    if k < 1 or k > len(X):
+        raise ReproError(f"k must be in [1, {len(X)}], got {k}")
+    if n_init < 1:
+        raise ReproError(f"n_init must be >= 1, got {n_init}")
+    rng = rng if rng is not None else np.random.default_rng()
+    best: tuple[float, np.ndarray, np.ndarray] | None = None
+    for _ in range(n_init):
+        labels, C = _kmeans_once(X, k, n_iter, rng)
+        inertia = float(np.sum((X - C[labels]) ** 2))
+        if best is None or inertia < best[0]:
+            best = (inertia, labels, C)
+    return best[1], best[2]
+
+
+def _kmeans_once(X: np.ndarray, k: int, n_iter: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    # k-means++ seeding.
+    centroids = [X[int(rng.integers(len(X)))]]
+    while len(centroids) < k:
+        d2 = np.min(_pairwise_sq(X, np.stack(centroids)), axis=1)
+        d2 = np.maximum(d2, 0.0)
+        probs = d2 / d2.sum() if d2.sum() > 0 else np.full(len(X), 1.0 / len(X))
+        centroids.append(X[int(rng.choice(len(X), p=probs))])
+    C = np.stack(centroids)
+    labels = np.zeros(len(X), dtype=int)
+    for iteration in range(n_iter):
+        new_labels = np.argmin(_pairwise_sq(X, C), axis=1)
+        if np.array_equal(new_labels, labels) and iteration > 0:
+            break
+        labels = new_labels
+        for j in range(k):
+            members = X[labels == j]
+            if len(members):
+                C[j] = members.mean(axis=0)
+    return labels, C
+
+
+def knn_indices(query: np.ndarray, corpus: np.ndarray, k: int = 1) -> np.ndarray:
+    """Indices of the k nearest corpus rows to the query vector."""
+    corpus = np.atleast_2d(np.asarray(corpus, dtype=float))
+    if k < 1 or k > len(corpus):
+        raise ReproError(f"k must be in [1, {len(corpus)}], got {k}")
+    d = np.linalg.norm(corpus - np.asarray(query, dtype=float)[None, :], axis=1)
+    return np.argsort(d)[:k]
+
+
+def silhouette_score(X: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient (clustering quality in [−1, 1])."""
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    labels = np.asarray(labels)
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        raise ReproError("silhouette needs >= 2 clusters")
+    D = np.sqrt(np.maximum(_pairwise_sq(X, X), 0.0))
+    scores = []
+    for i in range(len(X)):
+        same = labels == labels[i]
+        same[i] = False
+        a = D[i, same].mean() if same.any() else 0.0
+        b = min(
+            D[i, labels == other].mean()
+            for other in unique
+            if other != labels[i]
+        )
+        denom = max(a, b)
+        scores.append(0.0 if denom == 0 else (b - a) / denom)
+    return float(np.mean(scores))
+
+
+def clustering_accuracy(labels: np.ndarray, truth: np.ndarray) -> float:
+    """Best-map accuracy: each cluster votes for its majority true class."""
+    labels = np.asarray(labels)
+    truth = np.asarray(truth)
+    if labels.shape != truth.shape:
+        raise ReproError("labels and truth must align")
+    correct = 0
+    for cluster in np.unique(labels):
+        members = truth[labels == cluster]
+        values, counts = np.unique(members, return_counts=True)
+        correct += int(counts.max())
+    return correct / len(labels)

@@ -1,0 +1,91 @@
+"""Synthetic benchmark generation (slide 92, Stitcher-style).
+
+"Generate the optimal mixture of queries to mimic the workload in
+production; offline-optimize the system for that new synthetic benchmark;
+use the optimized config on the system in prod."
+
+Given a library of base workloads and only the *observable* signature of a
+production workload, :func:`synthesize_benchmark` finds the non-negative
+mixture of base workloads whose blended signature best matches, via NNLS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from ..exceptions import ReproError
+from ..workloads import Workload
+
+__all__ = ["mixture_weights", "blend_mixture", "synthesize_benchmark"]
+
+
+def mixture_weights(
+    target_signature: np.ndarray,
+    library_signatures: np.ndarray,
+    min_weight: float = 0.02,
+) -> np.ndarray:
+    """Convex weights w ≥ 0, Σw = 1 minimising ‖Sᵀw − target‖².
+
+    Solved as NNLS on standardised signatures with a sum-to-one penalty
+    row, then thresholded (tiny weights are noise) and renormalised.
+    """
+    S = np.atleast_2d(np.asarray(library_signatures, dtype=float))
+    t = np.asarray(target_signature, dtype=float)
+    if S.shape[1] != len(t):
+        raise ReproError(f"signature widths differ: {S.shape[1]} vs {len(t)}")
+    # Standardise feature columns so no single feature dominates the fit.
+    mean = S.mean(axis=0)
+    std = S.std(axis=0)
+    std[std <= 0] = 1.0
+    Sz = (S - mean) / std
+    tz = (t - mean) / std
+    # Augment with a strong sum-to-one row.
+    rho = 10.0
+    A = np.vstack([Sz.T, rho * np.ones(len(S))])
+    b = np.concatenate([tz, [rho]])
+    w, _ = optimize.nnls(A, b)
+    if w.sum() <= 0:
+        raise ReproError("NNLS produced an all-zero mixture")
+    w = w / w.sum()
+    w[w < min_weight] = 0.0
+    if w.sum() <= 0:
+        raise ReproError("all mixture weights fell below min_weight")
+    return w / w.sum()
+
+
+def blend_mixture(library: list[Workload], weights: np.ndarray, name: str = "synthetic") -> Workload:
+    """Fold a weighted list of workloads into one blended workload."""
+    if len(library) != len(weights):
+        raise ReproError("library and weights must align")
+    active = [(w, float(wt)) for w, wt in zip(library, weights) if wt > 0]
+    if not active:
+        raise ReproError("no active components in the mixture")
+    blended, acc = active[0][0], active[0][1]
+    for workload, weight in active[1:]:
+        alpha = weight / (acc + weight)
+        blended = blended.blend(workload, alpha)
+        acc += weight
+    import dataclasses
+
+    return dataclasses.replace(blended, name=name)
+
+
+def synthesize_benchmark(
+    target: Workload,
+    library: list[Workload],
+    name: str | None = None,
+) -> tuple[Workload, np.ndarray]:
+    """Build the library mixture that best mimics ``target``.
+
+    Returns the synthetic workload and the mixture weights. The target's
+    signature is all we use — standing in for "can't replay their workload
+    (side effects), can't look at it (privacy)" from slide 73: signatures
+    are aggregate, non-sensitive statistics.
+    """
+    if not library:
+        raise ReproError("need a non-empty workload library")
+    S = np.stack([w.signature() for w in library])
+    weights = mixture_weights(target.signature(), S)
+    synthetic = blend_mixture(library, weights, name=name or f"synthetic<{target.name}>")
+    return synthetic, weights

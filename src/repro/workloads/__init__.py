@@ -1,0 +1,24 @@
+"""Parametric workloads: YCSB, TPC-C, TPC-H, and time-varying traces."""
+
+from .base import Workload
+from .shifting import DiurnalTrace, DriftingTrace, PhasedTrace, WorkloadTrace
+from .tpcc import MB_PER_WAREHOUSE, TPCC_TX_MIX, tpcc
+from .tpch import TPCH_QUERIES, TpchQuery, tpch, tpch_query_mix
+from .ycsb import YCSB_MIXES, ycsb
+
+__all__ = [
+    "Workload",
+    "DiurnalTrace",
+    "DriftingTrace",
+    "PhasedTrace",
+    "WorkloadTrace",
+    "MB_PER_WAREHOUSE",
+    "TPCC_TX_MIX",
+    "tpcc",
+    "TPCH_QUERIES",
+    "TpchQuery",
+    "tpch",
+    "tpch_query_mix",
+    "YCSB_MIXES",
+    "ycsb",
+]

@@ -1,0 +1,84 @@
+"""TPC-C order-entry workload as a parametric preset.
+
+TPC-C's five transaction types reduce, for our analytical system models, to
+a write-heavy OLTP mix whose data volume grows with the warehouse count
+(~85 MB/warehouse fully populated) and whose commit path dominates.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ReproError
+from .base import Workload
+
+__all__ = ["tpcc", "TPCC_TX_MIX", "MB_PER_WAREHOUSE"]
+
+#: Standard transaction mix (share of each type).
+TPCC_TX_MIX: dict[str, float] = {
+    "new_order": 0.45,
+    "payment": 0.43,
+    "order_status": 0.04,
+    "delivery": 0.04,
+    "stock_level": 0.04,
+}
+
+#: Approximate populated size per warehouse.
+MB_PER_WAREHOUSE = 85.0
+
+#: Read share of each transaction type (the rest is write work).
+_TX_READ_SHARE: dict[str, float] = {
+    "new_order": 0.4,
+    "payment": 0.3,
+    "order_status": 1.0,
+    "delivery": 0.2,
+    "stock_level": 1.0,
+}
+
+#: Scan share of reads per type (stock-level does range scans).
+_TX_SCAN_SHARE: dict[str, float] = {
+    "new_order": 0.0,
+    "payment": 0.0,
+    "order_status": 0.1,
+    "delivery": 0.1,
+    "stock_level": 0.9,
+}
+
+
+def tpcc(
+    warehouses: int = 100,
+    terminals_per_warehouse: int = 2,
+    tx_mix: dict[str, float] | None = None,
+) -> Workload:
+    """Build a TPC-C workload for ``warehouses`` warehouses.
+
+    ``tx_mix`` overrides the standard transaction shares (must sum to 1) —
+    used by workload-synthesis experiments to reweight the mix.
+    """
+    if warehouses < 1:
+        raise ReproError(f"warehouses must be >= 1, got {warehouses}")
+    if terminals_per_warehouse < 1:
+        raise ReproError(f"terminals_per_warehouse must be >= 1, got {terminals_per_warehouse}")
+    mix = dict(tx_mix) if tx_mix else dict(TPCC_TX_MIX)
+    if set(mix) != set(TPCC_TX_MIX):
+        raise ReproError(f"tx_mix must cover exactly {sorted(TPCC_TX_MIX)}")
+    total = sum(mix.values())
+    if total <= 0:
+        raise ReproError("tx_mix shares must sum to a positive value")
+    mix = {k: v / total for k, v in mix.items()}
+
+    read_fraction = sum(mix[t] * _TX_READ_SHARE[t] for t in mix)
+    scans = sum(mix[t] * _TX_READ_SHARE[t] * _TX_SCAN_SHARE[t] for t in mix)
+    scan_fraction = scans / read_fraction if read_fraction > 0 else 0.0
+    data_mb = warehouses * MB_PER_WAREHOUSE
+    return Workload(
+        name=f"tpcc-{warehouses}w",
+        read_fraction=read_fraction,
+        scan_fraction=scan_fraction,
+        data_size_mb=data_mb,
+        # TPC-C touches most warehouses but skews to a hot district subset.
+        working_set_mb=max(1.0, data_mb * 0.4),
+        skew=0.6,
+        concurrency=warehouses * terminals_per_warehouse,
+        sort_intensity=0.1,
+        commit_sensitivity=0.9,  # every transaction commits durably
+        tags=("tpcc", "oltp"),
+    )

@@ -1,0 +1,72 @@
+"""YCSB core workloads A–F as parametric :class:`Workload` presets.
+
+The Yahoo! Cloud Serving Benchmark's standard mixes, expressed in the
+characteristics our simulated systems consume. Record count and field size
+determine data volume; the request distribution determines skew.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ReproError
+from .base import Workload
+
+__all__ = ["ycsb", "YCSB_MIXES"]
+
+#: (read_fraction, scan_fraction, skew, commit_sensitivity) per core workload.
+#: - A: update heavy 50/50, zipfian
+#: - B: read mostly 95/5, zipfian
+#: - C: read only, zipfian
+#: - D: read latest (inserts + reads), skewed toward recent
+#: - E: short ranges (scans) + inserts
+#: - F: read-modify-write
+YCSB_MIXES: dict[str, tuple[float, float, float, float]] = {
+    "a": (0.50, 0.00, 0.8, 0.7),
+    "b": (0.95, 0.00, 0.8, 0.3),
+    "c": (1.00, 0.00, 0.8, 0.0),
+    "d": (0.95, 0.00, 0.9, 0.4),
+    "e": (0.95, 0.95, 0.6, 0.4),
+    "f": (0.50, 0.00, 0.8, 0.8),
+}
+
+
+def ycsb(
+    mix: str,
+    record_count: int = 10_000_000,
+    field_bytes: int = 1_000,
+    concurrency: int = 64,
+    hot_fraction: float = 0.2,
+) -> Workload:
+    """Build a YCSB workload.
+
+    Parameters
+    ----------
+    mix:
+        One of ``"a"``–``"f"`` (case-insensitive).
+    record_count, field_bytes:
+        Dataset sizing: ``record_count × field_bytes`` bytes of user data.
+    concurrency:
+        Client threads.
+    hot_fraction:
+        Share of the data that is hot (working set).
+    """
+    key = mix.lower().removeprefix("workload").strip() or mix.lower()
+    if key not in YCSB_MIXES:
+        raise ReproError(f"unknown YCSB mix {mix!r}; expected one of {sorted(YCSB_MIXES)}")
+    if record_count < 1 or field_bytes < 1:
+        raise ReproError("record_count and field_bytes must be positive")
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ReproError(f"hot_fraction must be in (0, 1], got {hot_fraction}")
+    read_fraction, scan_fraction, skew, commit_sensitivity = YCSB_MIXES[key]
+    data_mb = record_count * field_bytes / 1e6
+    return Workload(
+        name=f"ycsb-{key}",
+        read_fraction=read_fraction,
+        scan_fraction=scan_fraction,
+        data_size_mb=data_mb,
+        working_set_mb=max(1.0, data_mb * hot_fraction),
+        skew=skew,
+        concurrency=concurrency,
+        sort_intensity=0.05 if key != "e" else 0.3,
+        commit_sensitivity=commit_sensitivity,
+        tags=("ycsb", f"ycsb-{key}", "oltp"),
+    )

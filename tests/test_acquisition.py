@@ -1,0 +1,129 @@
+"""Unit tests for acquisition functions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OptimizerError
+from repro.optimizers.acquisition import (
+    CostAwareEI,
+    ExpectedImprovement,
+    LowerConfidenceBound,
+    ProbabilityOfImprovement,
+    ThompsonSampling,
+)
+
+
+MEAN = np.array([0.0, 1.0, 2.0])
+STD = np.array([1.0, 1.0, 1.0])
+BEST = 1.0
+
+
+class TestPI:
+    def test_prefers_lower_mean(self):
+        pi = ProbabilityOfImprovement(xi=0.0)
+        scores = pi(MEAN, STD, BEST)
+        assert scores[0] > scores[1] > scores[2]
+
+    def test_probability_bounds(self):
+        pi = ProbabilityOfImprovement()
+        scores = pi(MEAN, STD, BEST)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_certain_improvement(self):
+        pi = ProbabilityOfImprovement(xi=0.0)
+        assert pi(np.array([-100.0]), np.array([0.001]), 0.0)[0] == pytest.approx(1.0)
+
+    def test_xi_validation(self):
+        with pytest.raises(OptimizerError):
+            ProbabilityOfImprovement(xi=-1.0)
+
+
+class TestEI:
+    def test_nonnegative(self):
+        ei = ExpectedImprovement()
+        assert np.all(ei(MEAN, STD, BEST) >= 0)
+
+    def test_magnitude_matters(self):
+        """EI distinguishes big wins from marginal ones — PI does not."""
+        ei = ExpectedImprovement(xi=0.0)
+        pi = ProbabilityOfImprovement(xi=0.0)
+        mean = np.array([-10.0, -0.1])
+        tiny_std = np.array([1e-6, 1e-6])
+        pi_scores = pi(mean, tiny_std, 0.0)
+        ei_scores = ei(mean, tiny_std, 0.0)
+        assert pi_scores[0] == pytest.approx(pi_scores[1])  # both certain
+        assert ei_scores[0] > ei_scores[1] * 50  # magnitudes differ
+
+    def test_uncertainty_creates_value(self):
+        ei = ExpectedImprovement(xi=0.0)
+        same_mean = np.array([2.0, 2.0])
+        stds = np.array([0.01, 2.0])
+        scores = ei(same_mean, stds, BEST)
+        assert scores[1] > scores[0]
+
+    def test_zero_when_hopeless_and_certain(self):
+        ei = ExpectedImprovement(xi=0.0)
+        assert ei(np.array([100.0]), np.array([1e-9]), 0.0)[0] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestLCB:
+    def test_beta_zero_is_pure_exploitation(self):
+        lcb = LowerConfidenceBound(beta=0.0)
+        scores = lcb(MEAN, np.array([0.1, 5.0, 10.0]), BEST)
+        assert np.argmax(scores) == 0
+
+    def test_large_beta_chases_uncertainty(self):
+        lcb = LowerConfidenceBound(beta=100.0)
+        scores = lcb(MEAN, np.array([0.1, 5.0, 10.0]), BEST)
+        assert np.argmax(scores) == 2
+
+    def test_validation(self):
+        with pytest.raises(OptimizerError):
+            LowerConfidenceBound(beta=-1.0)
+
+
+class TestCostAwareEI:
+    def test_cheap_points_win_ties(self):
+        acq = CostAwareEI(xi=0.0)
+        mean = np.array([0.0, 0.0])
+        std = np.array([1.0, 1.0])
+        costs = np.array([1.0, 10.0])
+        scores = acq(mean, std, BEST, costs=costs)
+        assert scores[0] == pytest.approx(10.0 * scores[1])
+
+    def test_requires_costs(self):
+        acq = CostAwareEI()
+        with pytest.raises(OptimizerError):
+            acq(MEAN, STD, BEST)
+
+    def test_positive_costs(self):
+        acq = CostAwareEI()
+        with pytest.raises(OptimizerError):
+            acq(MEAN, STD, BEST, costs=np.array([1.0, 0.0, 1.0]))
+
+    def test_cost_shape_mismatch(self):
+        acq = CostAwareEI()
+        with pytest.raises(OptimizerError):
+            acq(MEAN, STD, BEST, costs=np.array([1.0]))
+
+
+class TestThompson:
+    def test_randomized_but_seeded(self):
+        rng1 = np.random.default_rng(0)
+        rng2 = np.random.default_rng(0)
+        a = ThompsonSampling(rng1)(MEAN, STD, BEST)
+        b = ThompsonSampling(rng2)(MEAN, STD, BEST)
+        assert np.allclose(a, b)
+
+    def test_prefers_low_mean_in_expectation(self):
+        ts = ThompsonSampling(np.random.default_rng(0))
+        wins = sum(
+            int(np.argmax(ts(MEAN, STD * 0.1, BEST)) == 0) for _ in range(100)
+        )
+        assert wins > 90
+
+
+def test_shape_validation():
+    ei = ExpectedImprovement()
+    with pytest.raises(OptimizerError):
+        ei(np.zeros(3), np.zeros(2), 0.0)

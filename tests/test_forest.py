@@ -1,0 +1,105 @@
+"""Unit tests for the from-scratch regression trees / random forest."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, OptimizerError
+from repro.optimizers.forest import RandomForestRegressor, RegressionTree
+
+
+def step_function(X):
+    """Piecewise-constant target: ideal for trees."""
+    return np.where(X[:, 0] < 0.5, 1.0, 5.0) + np.where(X[:, 1] < 0.3, 0.0, 2.0)
+
+
+@pytest.fixture
+def data(rng):
+    X = rng.random((120, 2))
+    return X, step_function(X)
+
+
+class TestRegressionTree:
+    def test_fits_step_function(self, data):
+        X, y = data
+        tree = RegressionTree(max_depth=4, seed=0).fit(X, y)
+        assert np.abs(tree.predict(X) - y).max() < 0.5
+
+    def test_depth_one_is_single_split(self, data):
+        X, y = data
+        tree = RegressionTree(max_depth=1, seed=0).fit(X, y)
+        assert len(np.unique(tree.predict(X))) <= 2
+
+    def test_constant_target_is_leaf(self, rng):
+        X = rng.random((20, 2))
+        tree = RegressionTree(seed=0).fit(X, np.full(20, 3.0))
+        assert np.all(tree.predict(X) == 3.0)
+
+    def test_min_samples_leaf_respected(self, data):
+        X, y = data
+        tree = RegressionTree(max_depth=20, min_samples_leaf=30, seed=0).fit(X, y)
+        _, counts = np.unique(tree.predict(X), return_counts=True)
+        assert counts.min() >= 30
+
+    def test_variance_output(self, data):
+        X, y = data
+        tree = RegressionTree(max_depth=2, seed=0).fit(X, y)
+        mean, var = tree.predict(X, return_var=True)
+        assert np.all(var >= 0)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            RegressionTree().predict(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(OptimizerError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(OptimizerError):
+            RegressionTree(min_samples_leaf=0)
+        with pytest.raises(OptimizerError):
+            RegressionTree(max_features=1.5)
+        with pytest.raises(OptimizerError):
+            RegressionTree().fit(np.zeros((3, 2)), np.zeros(2))
+
+
+class TestRandomForest:
+    def test_fits_and_generalizes(self, data, rng):
+        X, y = data
+        rf = RandomForestRegressor(n_trees=16, seed=0).fit(X, y)
+        Xq = rng.random((60, 2))
+        assert np.abs(rf.predict(Xq) - step_function(Xq)).mean() < 0.6
+
+    def test_uncertainty_higher_off_data(self, rng):
+        """SMAC's key property: tree disagreement signals unexplored areas."""
+        X = rng.random((80, 2)) * 0.4  # train only in the lower-left corner
+        y = step_function(X)
+        rf = RandomForestRegressor(n_trees=24, seed=0).fit(X, y)
+        _, std_in = rf.predict(X[:20], return_std=True)
+        _, std_out = rf.predict(np.full((20, 2), 0.9), return_std=True)
+        assert std_out.mean() >= std_in.mean()
+
+    def test_handles_categorical_onehot_blocks(self, rng):
+        """Forests split on one-hot categories natively (slide 51)."""
+        n = 150
+        cat = rng.integers(0, 3, n)
+        X = np.zeros((n, 4))
+        X[np.arange(n), cat] = 1.0  # one-hot in cols 0-2
+        X[:, 3] = rng.random(n)
+        y = np.array([10.0, 0.0, 5.0])[cat] + 0.1 * X[:, 3]
+        rf = RandomForestRegressor(n_trees=16, seed=0).fit(X, y)
+        pred_cat0 = rf.predict(np.array([[1, 0, 0, 0.5]]))[0]
+        pred_cat1 = rf.predict(np.array([[0, 1, 0, 0.5]]))[0]
+        assert pred_cat0 - pred_cat1 > 5.0
+
+    def test_deterministic_given_seed(self, data):
+        X, y = data
+        p1 = RandomForestRegressor(n_trees=8, seed=7).fit(X, y).predict(X[:10])
+        p2 = RandomForestRegressor(n_trees=8, seed=7).fit(X, y).predict(X[:10])
+        assert np.allclose(p1, p2)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            RandomForestRegressor().predict(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(OptimizerError):
+            RandomForestRegressor(n_trees=0)

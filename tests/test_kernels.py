@@ -1,0 +1,129 @@
+"""Unit tests for GP kernels."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OptimizerError
+from repro.optimizers.kernels import (
+    RBF,
+    ConstantKernel,
+    Matern,
+    Product,
+    Sum,
+    WhiteKernel,
+)
+
+
+def grid(n=8, d=2, seed=0):
+    return np.random.default_rng(seed).random((n, d))
+
+
+class TestRBF:
+    def test_diagonal_is_one(self):
+        X = grid()
+        K = RBF(0.5)(X)
+        assert np.allclose(np.diag(K), 1.0)
+
+    def test_symmetry_and_psd(self):
+        X = grid(10)
+        K = RBF(0.5)(X)
+        assert np.allclose(K, K.T)
+        assert np.linalg.eigvalsh(K).min() > -1e-10
+
+    def test_decays_with_distance(self):
+        k = RBF(0.3)
+        X = np.array([[0.0], [0.1], [0.9]])
+        K = k(X)
+        assert K[0, 1] > K[0, 2]
+
+    def test_length_scale_controls_smoothness(self):
+        X = np.array([[0.0], [0.5]])
+        wide = RBF(2.0)(X)[0, 1]
+        narrow = RBF(0.05)(X)[0, 1]
+        assert wide > 0.9 and narrow < 0.01
+
+    def test_ard_length_scales(self):
+        k = RBF(np.array([0.1, 10.0]))
+        a = np.array([[0.0, 0.0]])
+        move_x = np.array([[0.5, 0.0]])
+        move_y = np.array([[0.0, 0.5]])
+        # Moving along the short-length-scale dim decorrelates much faster.
+        assert k(a, move_x)[0, 0] < k(a, move_y)[0, 0]
+
+    def test_positive_length_scale_required(self):
+        with pytest.raises(OptimizerError):
+            RBF(-1.0)
+
+
+class TestMatern:
+    @pytest.mark.parametrize("nu", [0.5, 1.5, 2.5])
+    def test_valid_nu(self, nu):
+        X = grid()
+        K = Matern(0.5, nu=nu)(X)
+        assert np.allclose(np.diag(K), 1.0)
+        assert np.linalg.eigvalsh(K).min() > -1e-10
+
+    def test_invalid_nu(self):
+        with pytest.raises(OptimizerError):
+            Matern(0.5, nu=3.0)
+
+    def test_matern_approaches_rbf_at_high_nu(self):
+        """ν=2.5 is closer to RBF than ν=0.5 — the slide's limit statement."""
+        X = grid(12)
+        rbf = RBF(0.5)(X)
+        d25 = np.abs(Matern(0.5, nu=2.5)(X) - rbf).max()
+        d05 = np.abs(Matern(0.5, nu=0.5)(X) - rbf).max()
+        assert d25 < d05
+
+    def test_rougher_kernel_decorrelates_faster(self):
+        X = np.array([[0.0], [0.2]])
+        assert Matern(0.5, nu=0.5)(X)[0, 1] < Matern(0.5, nu=2.5)(X)[0, 1]
+
+
+class TestWhiteAndConstant:
+    def test_white_only_on_diagonal(self):
+        X = grid(5)
+        k = WhiteKernel(0.1)
+        K = k(X)
+        assert np.allclose(K, 0.1 * np.eye(5))
+        assert np.allclose(k(X, grid(3, seed=1)), 0.0)
+
+    def test_constant(self):
+        X = grid(4)
+        K = ConstantKernel(2.5)(X)
+        assert np.all(K == 2.5)
+
+    def test_validation(self):
+        with pytest.raises(OptimizerError):
+            WhiteKernel(0.0)
+        with pytest.raises(OptimizerError):
+            ConstantKernel(-1.0)
+
+
+class TestComposition:
+    def test_sum(self):
+        X = grid(6)
+        combo = Sum(RBF(0.5), WhiteKernel(0.1))
+        assert np.allclose(combo(X), RBF(0.5)(X) + WhiteKernel(0.1)(X))
+
+    def test_product(self):
+        X = grid(6)
+        combo = Product(ConstantKernel(2.0), RBF(0.5))
+        assert np.allclose(combo(X), 2.0 * RBF(0.5)(X))
+
+    def test_operator_sugar(self):
+        X = grid(5)
+        k = ConstantKernel(3.0) * RBF(0.4) + WhiteKernel(0.01)
+        assert k(X)[0, 0] == pytest.approx(3.01)
+
+    def test_theta_roundtrip(self):
+        k = ConstantKernel(2.0) * Matern(0.3, nu=2.5) + WhiteKernel(0.05)
+        theta = k.theta.copy()
+        k.theta = theta + 0.1
+        assert np.allclose(k.theta, theta + 0.1)
+        assert k.bounds.shape == (len(theta), 2)
+
+    def test_diag_composition(self):
+        X = grid(7)
+        k = ConstantKernel(2.0) * RBF(0.4) + WhiteKernel(0.05)
+        assert np.allclose(k.diag(X), np.diag(k(X)))

@@ -1,0 +1,125 @@
+"""Unit tests for multi-fidelity BO and successive halving."""
+
+import numpy as np
+import pytest
+
+from repro.core import Objective
+from repro.exceptions import OptimizerError
+from repro.optimizers import FidelityLevel, MultiFidelityBO, successive_halving
+from repro.space import ConfigurationSpace, FloatParameter
+
+
+def space_1d():
+    s = ConfigurationSpace("mf", seed=0)
+    s.add(FloatParameter("x", 0.0, 1.0))
+    return s
+
+
+def fidelity_function(x, fid):
+    """True objective at full fidelity; biased + noisier when cheap."""
+    true = (x - 0.7) ** 2
+    bias = (1.0 - fid) * 0.15 * np.sin(8 * x)
+    return true + bias
+
+
+FIDS = [FidelityLevel(0.1, cost=1.0), FidelityLevel(1.0, cost=10.0)]
+
+
+class TestMultiFidelityBO:
+    def run_loop(self, opt, n=40, seed=0):
+        rng = np.random.default_rng(seed)
+        for _ in range(n):
+            cfg = opt.suggest(1)[0]
+            fid = opt.next_fidelity
+            y = fidelity_function(cfg["x"], fid.value) + rng.normal(0, 0.002)
+            opt.observe(cfg, y, cost=fid.cost, fidelity=fid.value)
+
+    def test_mixes_fidelities(self):
+        opt = MultiFidelityBO(space_1d(), FIDS, n_init=5, n_candidates=64, seed=0)
+        self.run_loop(opt)
+        used = {t.fidelity for t in opt.history.trials}
+        assert 0.1 in used and 1.0 in used
+
+    def test_cheap_fidelity_dominates_counts(self):
+        """Cost-adjusted EI should buy many cheap probes per dear one."""
+        opt = MultiFidelityBO(space_1d(), FIDS, n_init=5, full_every=4, n_candidates=64, seed=0)
+        self.run_loop(opt)
+        counts = {}
+        for t in opt.history.trials:
+            counts[t.fidelity] = counts.get(t.fidelity, 0) + 1
+        assert counts.get(0.1, 0) > counts.get(1.0, 0)
+
+    def test_finds_optimum_at_target_fidelity(self):
+        opt = MultiFidelityBO(space_1d(), FIDS, n_init=5, n_candidates=64, seed=0)
+        self.run_loop(opt, n=50)
+        full = [t for t in opt.history.completed() if t.fidelity == 1.0]
+        best = min(full, key=lambda t: t.metric("score"))
+        assert abs(best.config["x"] - 0.7) < 0.15
+
+    def test_initial_design_at_cheapest(self):
+        opt = MultiFidelityBO(space_1d(), FIDS, n_init=4, n_candidates=64, seed=0)
+        for _ in range(4):
+            opt.suggest(1)
+            assert opt.next_fidelity.value == 0.1
+            opt.observe(opt.space.sample(), 1.0, fidelity=0.1)
+
+    def test_full_every_forces_target(self):
+        opt = MultiFidelityBO(space_1d(), FIDS, n_init=2, full_every=1, n_candidates=32, seed=0)
+        self.run_loop(opt, n=6)
+        # After init every suggestion must be at the target fidelity.
+        post_init = [t.fidelity for t in opt.history.trials[2:]]
+        assert all(f == 1.0 for f in post_init)
+
+    def test_validation(self):
+        with pytest.raises(OptimizerError):
+            MultiFidelityBO(space_1d(), [FidelityLevel(1.0, 1.0)])
+        with pytest.raises(OptimizerError):
+            FidelityLevel(1.0, cost=0.0)
+
+
+class TestSuccessiveHalving:
+    def test_survivor_is_best(self):
+        space = space_1d()
+        candidates = [space.make({"x": v}) for v in np.linspace(0, 1, 9)]
+
+        def evaluate(cfg, budget):
+            return (cfg["x"] - 0.7) ** 2  # noise-free
+
+        winner, records = successive_halving(candidates, evaluate, budgets=[1, 3, 9])
+        assert abs(winner["x"] - 0.7) < 0.1
+
+    def test_rungs_shrink_by_eta(self):
+        space = space_1d()
+        candidates = [space.make({"x": v}) for v in np.linspace(0, 1, 9)]
+        _, records = successive_halving(
+            candidates, lambda c, b: c["x"], budgets=[1, 2, 4], eta=3.0
+        )
+        assert [len(r.survivors) for r in records] == [3, 1, 1]
+
+    def test_noisy_small_budgets_filtered_by_later_rungs(self, rng):
+        space = space_1d()
+        candidates = [space.make({"x": v}) for v in np.linspace(0, 1, 12)]
+
+        def noisy_eval(cfg, budget):
+            noise = rng.normal(0, 0.3 / budget)  # bigger budget = less noise
+            return (cfg["x"] - 0.7) ** 2 + noise
+
+        winner, _ = successive_halving(candidates, noisy_eval, budgets=[1, 4, 16], eta=2.0)
+        assert abs(winner["x"] - 0.7) < 0.35
+
+    def test_maximize_mode(self):
+        space = space_1d()
+        candidates = [space.make({"x": v}) for v in np.linspace(0, 1, 5)]
+        winner, _ = successive_halving(
+            candidates, lambda c, b: c["x"], budgets=[1, 2], minimize=False
+        )
+        assert winner["x"] == 1.0
+
+    def test_validation(self):
+        space = space_1d()
+        with pytest.raises(OptimizerError):
+            successive_halving([], lambda c, b: 0.0, budgets=[1])
+        with pytest.raises(OptimizerError):
+            successive_halving([space.make({})], lambda c, b: 0.0, budgets=[])
+        with pytest.raises(OptimizerError):
+            successive_halving([space.make({})], lambda c, b: 0.0, budgets=[1], eta=1.0)

@@ -1,0 +1,167 @@
+"""Unit tests for online tuning policies: Q-learning, actor-critic,
+hybrid bandits, contextual BO, genetic online."""
+
+import numpy as np
+import pytest
+
+from repro.core import Objective
+from repro.exceptions import OptimizerError
+from repro.online import (
+    ActorCriticTuner,
+    ContextualBOTuner,
+    GeneticAlgorithmOptimizer,
+    GeneticOnlineTuner,
+    HybridBanditTuner,
+    OnlineTuningAgent,
+    QLearningTuner,
+    StaticConfigPolicy,
+)
+from repro.space import BooleanParameter, ConfigurationSpace, FloatParameter
+from repro.sysim import QUIET_CLOUD, SimulatedDBMS
+from repro.workloads import DiurnalTrace, ycsb
+
+
+def toy_space():
+    space = ConfigurationSpace("toy", seed=0)
+    space.add(FloatParameter("a", 0.0, 1.0, default=0.5))
+    space.add(FloatParameter("b", 0.0, 1.0, default=0.5))
+    space.add(BooleanParameter("flag", default=False))
+    return space
+
+
+OBS = np.array([0.5, 0.5, 0.0, 0.2, 0.2, 0.2])
+
+
+def drive(policy, reward_fn, steps=150):
+    """Run propose/feedback against a synthetic reward function."""
+    values = []
+    for _ in range(steps):
+        cfg = policy.propose(OBS)
+        r = reward_fn(cfg)
+        policy.feedback(OBS, cfg, r)
+        values.append(r)
+    return np.array(values)
+
+
+def bowl_reward(cfg):
+    """Max reward at a=0.8, b=0.2, flag=True."""
+    r = -((cfg["a"] - 0.8) ** 2) - (cfg["b"] - 0.2) ** 2
+    return r + (0.2 if cfg["flag"] else 0.0)
+
+
+class TestQLearning:
+    def test_improves_over_time(self):
+        policy = QLearningTuner(toy_space(), step=0.15, seed=0)
+        rewards = drive(policy, bowl_reward, steps=300)
+        assert rewards[-50:].mean() > rewards[:50].mean()
+
+    def test_epsilon_anneals(self):
+        policy = QLearningTuner(toy_space(), epsilon=0.5, epsilon_decay=0.9, seed=0)
+        drive(policy, bowl_reward, steps=50)
+        assert policy.epsilon < 0.5 * 0.9**40
+
+    def test_states_discretized(self):
+        policy = QLearningTuner(toy_space(), n_state_bins=2, seed=0)
+        drive(policy, bowl_reward, steps=30)
+        assert policy.n_states_visited >= 1
+
+    def test_unknown_knob(self):
+        with pytest.raises(OptimizerError):
+            QLearningTuner(toy_space(), knobs=["nope"])
+
+    def test_step_validation(self):
+        with pytest.raises(OptimizerError):
+            QLearningTuner(toy_space(), step=0.0)
+
+
+class TestActorCritic:
+    def test_moves_mean_toward_optimum(self):
+        policy = ActorCriticTuner(toy_space(), knobs=["a", "b"], seed=0)
+        drive(policy, bowl_reward, steps=400)
+        greedy = policy.greedy_config(OBS)
+        assert abs(greedy["a"] - 0.8) < 0.3
+        assert abs(greedy["b"] - 0.2) < 0.3
+
+    def test_sigma_anneals(self):
+        policy = ActorCriticTuner(toy_space(), sigma=0.3, sigma_decay=0.9, sigma_min=0.01, seed=0)
+        drive(policy, bowl_reward, steps=60)
+        assert policy.sigma < 0.05
+
+    def test_requires_numeric_knob(self):
+        space = ConfigurationSpace("cat_only")
+        space.add(BooleanParameter("x"))
+        space.add(BooleanParameter("y"))
+        with pytest.raises(OptimizerError):
+            ActorCriticTuner(space)
+
+
+class TestHybridBandit:
+    def test_numeric_center_moves(self):
+        policy = HybridBanditTuner(toy_space(), seed=0)
+        drive(policy, bowl_reward, steps=400)
+        center = policy.center_config()
+        assert abs(center["a"] - 0.8) < 0.3
+        assert abs(center["b"] - 0.2) < 0.3
+
+    def test_bandit_learns_discrete_knob(self):
+        policy = HybridBanditTuner(toy_space(), seed=0)
+        drive(policy, bowl_reward, steps=400)
+        assert policy.center_config()["flag"] is True
+
+    def test_validation(self):
+        with pytest.raises(OptimizerError):
+            HybridBanditTuner(toy_space(), perturbation=0.0)
+
+
+class TestContextualBO:
+    def test_adapts_to_context(self):
+        """Reward optimum depends on the context: the GP must learn both."""
+        policy = ContextualBOTuner(toy_space(), n_init=5, n_candidates=48, seed=0)
+        for step in range(60):
+            ctx = np.array([step % 2], dtype=float)  # alternating context
+            cfg = policy.propose(ctx)
+            target = 0.8 if ctx[0] > 0.5 else 0.2
+            policy.feedback(ctx, cfg, -((cfg["a"] - target) ** 2))
+        # After training, proposals must track the context-dependent optimum.
+        errors = []
+        for step in range(8):
+            ctx = np.array([step % 2], dtype=float)
+            cfg = policy.propose(ctx)
+            target = 0.8 if ctx[0] > 0.5 else 0.2
+            errors.append(abs(cfg["a"] - target))
+            policy.feedback(ctx, cfg, -((cfg["a"] - target) ** 2))
+        assert np.median(errors) < 0.2
+
+    def test_n_init_validation(self):
+        with pytest.raises(OptimizerError):
+            ContextualBOTuner(toy_space(), n_init=0)
+
+
+class TestGeneticOnline:
+    def test_improves(self):
+        ga = GeneticAlgorithmOptimizer(toy_space(), population_size=8, seed=0,
+                                       objectives=Objective("score"))
+        policy = GeneticOnlineTuner(ga)
+        rewards = drive(policy, bowl_reward, steps=200)
+        assert rewards[-40:].mean() > rewards[:40].mean()
+
+
+class TestPoliciesOnSimulatedSystem:
+    """Smoke: each policy survives a real agent loop on the DBMS."""
+
+    @pytest.mark.parametrize(
+        "make_policy",
+        [
+            lambda s: QLearningTuner(s, seed=0),
+            lambda s: ActorCriticTuner(s, seed=0),
+            lambda s: HybridBanditTuner(s, seed=0),
+            lambda s: StaticConfigPolicy(s.default_configuration()),
+        ],
+    )
+    def test_policy_runs(self, make_policy):
+        db = SimulatedDBMS(env=QUIET_CLOUD(seed=0), seed=0)
+        sub = db.space.subspace(["buffer_pool_mb", "worker_threads", "work_mem_mb"])
+        agent = OnlineTuningAgent(db, make_policy(sub), Objective("throughput", minimize=False))
+        result = agent.run(DiurnalTrace(ycsb("b"), length=8))
+        assert len(result.records) == 8
+        assert np.all(np.isfinite(result.values()))

@@ -1,0 +1,222 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis.importance import lasso_coordinate_descent
+from repro.core import Objective
+from repro.optimizers.kernels import RBF, Matern
+from repro.optimizers.pareto import (
+    dominates,
+    hypervolume_2d,
+    pareto_front_mask,
+)
+from repro.space import (
+    CategoricalParameter,
+    ConfigurationSpace,
+    FloatParameter,
+    IntegerParameter,
+)
+
+# ---------------------------------------------------------------------------
+# Parameter encoding properties
+# ---------------------------------------------------------------------------
+
+float_bounds = st.tuples(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+).filter(lambda b: b[1] - b[0] > 1e-6)
+
+
+@given(bounds=float_bounds, u=st.floats(min_value=0.0, max_value=1.0))
+def test_float_from_unit_always_in_bounds(bounds, u):
+    p = FloatParameter("x", bounds[0], bounds[1])
+    v = p.from_unit(u)
+    assert bounds[0] - 1e-9 <= v <= bounds[1] + 1e-9
+    assert p.validate(v)
+
+
+@given(bounds=float_bounds, u=st.floats(min_value=0.0, max_value=1.0))
+def test_float_unit_roundtrip(bounds, u):
+    p = FloatParameter("x", bounds[0], bounds[1])
+    v = p.from_unit(u)
+    # from_unit(to_unit(v)) is idempotent even if to_unit(from_unit(u)) != u.
+    assert p.from_unit(p.to_unit(v)) == v
+
+
+@given(
+    lower=st.integers(min_value=-1000, max_value=1000),
+    width=st.integers(min_value=1, max_value=100_000),
+    u=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_integer_from_unit_in_bounds(lower, width, u):
+    p = IntegerParameter("n", lower, lower + width)
+    v = p.from_unit(u)
+    assert isinstance(v, int)
+    assert lower <= v <= lower + width
+
+
+@given(
+    lower=st.integers(min_value=1, max_value=100),
+    factor=st.integers(min_value=2, max_value=10_000),
+    u=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_log_integer_in_bounds(lower, factor, u):
+    p = IntegerParameter("n", lower, lower * factor, log=True)
+    v = p.from_unit(u)
+    assert lower <= v <= lower * factor
+
+
+@given(
+    n_choices=st.integers(min_value=2, max_value=12),
+    u=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_categorical_roundtrip_all_units(n_choices, u):
+    p = CategoricalParameter("m", [f"c{i}" for i in range(n_choices)])
+    v = p.from_unit(u)
+    assert v in p.choices
+    assert p.from_unit(p.to_unit(v)) == v
+
+
+# ---------------------------------------------------------------------------
+# Kernel properties
+# ---------------------------------------------------------------------------
+
+small_matrices = hnp.arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(2, 12), st.integers(1, 4)),
+    elements=st.floats(min_value=-5, max_value=5, allow_nan=False),
+)
+
+
+@given(X=small_matrices, ls=st.floats(min_value=0.05, max_value=5.0))
+@settings(max_examples=40, deadline=None)
+def test_rbf_is_psd_and_bounded(X, ls):
+    K = RBF(ls)(X)
+    assert np.allclose(K, K.T)
+    assert np.all(K <= 1.0 + 1e-9) and np.all(K >= 0.0)
+    assert np.linalg.eigvalsh(K).min() > -1e-8
+
+
+@given(
+    X=small_matrices,
+    ls=st.floats(min_value=0.05, max_value=5.0),
+    nu=st.sampled_from([0.5, 1.5, 2.5]),
+)
+@settings(max_examples=40, deadline=None)
+def test_matern_is_psd(X, ls, nu):
+    K = Matern(ls, nu=nu)(X)
+    assert np.linalg.eigvalsh(K).min() > -1e-8
+
+
+# ---------------------------------------------------------------------------
+# Pareto properties
+# ---------------------------------------------------------------------------
+
+point_sets = hnp.arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(1, 20), st.just(2)),
+    elements=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+)
+
+
+@given(points=point_sets)
+@settings(max_examples=60, deadline=None)
+def test_front_members_are_mutually_nondominated(points):
+    mask = pareto_front_mask(points)
+    front = points[mask]
+    for i in range(len(front)):
+        for j in range(len(front)):
+            if i != j:
+                assert not dominates(front[i], front[j])
+
+
+@given(points=point_sets)
+@settings(max_examples=60, deadline=None)
+def test_dominated_points_are_dominated_by_someone_on_front(points):
+    mask = pareto_front_mask(points)
+    front = points[mask]
+    for idx in np.flatnonzero(~mask):
+        assert any(dominates(f, points[idx]) for f in front)
+
+
+@given(points=point_sets)
+@settings(max_examples=60, deadline=None)
+def test_hypervolume_monotone_in_points(points):
+    ref = np.array([11.0, 11.0])
+    hv_all = hypervolume_2d(points, ref)
+    hv_sub = hypervolume_2d(points[: max(1, len(points) // 2)], ref)
+    assert hv_all >= hv_sub - 1e-9
+    assert hv_all <= 121.0 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Space sampling properties
+# ---------------------------------------------------------------------------
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_sampled_configs_always_valid(seed):
+    space = ConfigurationSpace("prop", seed=seed)
+    space.add(FloatParameter("a", 0.0, 10.0))
+    space.add(IntegerParameter("b", 1, 100, log=True))
+    space.add(CategoricalParameter("c", ["x", "y", "z"]))
+    rng = np.random.default_rng(seed)
+    for _ in range(5):
+        cfg = space.sample(rng)
+        for name in space.names:
+            assert space[name].validate(cfg[name])
+        x = space.to_unit_array(cfg)
+        assert np.all((x >= 0.0) & (x <= 1.0))
+
+
+# ---------------------------------------------------------------------------
+# Objective / score properties
+# ---------------------------------------------------------------------------
+
+
+@given(
+    value=st.floats(min_value=-1e12, max_value=1e12, allow_nan=False),
+    minimize=st.booleans(),
+)
+def test_objective_score_roundtrip(value, minimize):
+    obj = Objective("m", minimize=minimize)
+    assert obj.unscore(obj.score(value)) == value
+
+
+@given(
+    values=st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=2, max_size=20),
+    minimize=st.booleans(),
+)
+def test_best_is_extremum(values, minimize):
+    from repro.optimizers import RandomSearchOptimizer
+
+    space = ConfigurationSpace("s", seed=0)
+    space.add(FloatParameter("x", 0.0, 1.0))
+    opt = RandomSearchOptimizer(space, Objective("m", minimize=minimize), seed=0)
+    for v in values:
+        opt.observe(opt.suggest(1)[0], v)
+    best = opt.history.best_value()
+    assert best == (min(values) if minimize else max(values))
+
+
+# ---------------------------------------------------------------------------
+# Lasso properties
+# ---------------------------------------------------------------------------
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    alpha=st.floats(min_value=0.001, max_value=1.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_lasso_shrinks_with_alpha(seed, alpha):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((60, 4))
+    y = X @ np.array([2.0, -1.0, 0.5, 0.0]) + rng.normal(0, 0.1, 60)
+    w_small = lasso_coordinate_descent(X, y, alpha)
+    w_big = lasso_coordinate_descent(X, y, alpha * 10)
+    assert np.abs(w_big).sum() <= np.abs(w_small).sum() + 1e-6

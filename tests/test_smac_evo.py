@@ -1,0 +1,137 @@
+"""Unit tests for SMAC, CMA-ES, PSO, and the genetic algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core import Objective, TuningSession
+from repro.exceptions import OptimizerError
+from repro.online import GeneticAlgorithmOptimizer
+from repro.optimizers import CMAESOptimizer, ParticleSwarmOptimizer, SMACOptimizer
+from repro.space import CategoricalParameter, ConfigurationSpace, FloatParameter
+
+from .conftest import quadratic_evaluator
+
+
+def bowl_space(n=2, with_cat=False):
+    space = ConfigurationSpace("bowl", seed=0)
+    for i in range(n):
+        space.add(FloatParameter(f"x{i}", 0.0, 1.0))
+    if with_cat:
+        space.add(CategoricalParameter("mode", ["good", "bad", "awful"]))
+    return space
+
+
+def cat_evaluator(config):
+    penalty = {"good": 0.0, "bad": 1.0, "awful": 3.0}.get(config.get("mode", "good"), 0.0)
+    base, _ = quadratic_evaluator()(config)
+    return base + penalty, 1.0
+
+
+class TestSMAC:
+    def test_converges(self):
+        opt = SMACOptimizer(bowl_space(2), n_init=6, seed=0, n_candidates=128)
+        res = TuningSession(opt, quadratic_evaluator(), max_trials=35).run()
+        assert res.best_value < 0.05
+
+    def test_handles_categoricals(self):
+        opt = SMACOptimizer(bowl_space(1, with_cat=True), n_init=8, seed=0, n_candidates=128)
+        res = TuningSession(opt, cat_evaluator, max_trials=40).run()
+        assert res.best_config["mode"] == "good"
+
+    def test_random_interleaving(self):
+        """Every (interleave+1)-th model-phase suggestion is random."""
+        opt = SMACOptimizer(bowl_space(1), n_init=2, interleave=1, seed=0, n_candidates=32)
+        for _ in range(4):
+            c = opt.suggest(1)[0]
+            opt.observe(c, quadratic_evaluator()(c)[0])
+        # After init, suggestions alternate model/random; just verify they flow.
+        batch = opt.suggest(4)
+        assert len(batch) == 4
+
+    def test_validation(self):
+        with pytest.raises(OptimizerError):
+            SMACOptimizer(bowl_space(1), n_init=0)
+        with pytest.raises(OptimizerError):
+            SMACOptimizer(bowl_space(1), interleave=-1)
+
+
+class TestCMAES:
+    def test_converges_on_bowl(self):
+        opt = CMAESOptimizer(bowl_space(3), seed=0, sigma0=0.3)
+        res = TuningSession(opt, quadratic_evaluator(), max_trials=120).run()
+        assert res.best_value < 0.02
+
+    def test_sigma_adapts(self):
+        opt = CMAESOptimizer(bowl_space(2), seed=0)
+        TuningSession(opt, quadratic_evaluator(), max_trials=80).run()
+        assert opt.generation >= 5
+        assert 1e-8 <= opt.sigma <= 1.0
+
+    def test_mean_moves_toward_optimum(self):
+        opt = CMAESOptimizer(bowl_space(2), seed=0)
+        TuningSession(opt, quadratic_evaluator(), max_trials=100).run()
+        assert np.abs(opt.mean - 0.3).max() < 0.2
+
+    def test_ignores_warm_start_observations(self, simple_space):
+        opt = CMAESOptimizer(simple_space, seed=0)
+        cfg = simple_space.default_configuration()
+        opt.observe(cfg, 1.0)  # not suggested by CMA-ES
+        assert opt._results == []
+
+    def test_validation(self):
+        with pytest.raises(OptimizerError):
+            CMAESOptimizer(bowl_space(1), sigma0=0.0)
+
+
+class TestPSO:
+    def test_converges_on_bowl(self):
+        opt = ParticleSwarmOptimizer(bowl_space(2), n_particles=10, seed=0)
+        res = TuningSession(opt, quadratic_evaluator(), max_trials=120).run()
+        assert res.best_value < 0.02
+
+    def test_gbest_tracks_minimum(self):
+        opt = ParticleSwarmOptimizer(bowl_space(1), n_particles=5, seed=0)
+        TuningSession(opt, quadratic_evaluator(), max_trials=40).run()
+        assert opt.gbest_score < 0.05
+
+    def test_velocity_clamped(self):
+        opt = ParticleSwarmOptimizer(bowl_space(2), n_particles=5, v_max=0.1, seed=0)
+        TuningSession(opt, quadratic_evaluator(), max_trials=30).run()
+        assert np.abs(opt.velocities).max() <= 0.1 + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(OptimizerError):
+            ParticleSwarmOptimizer(bowl_space(1), n_particles=1)
+        with pytest.raises(OptimizerError):
+            ParticleSwarmOptimizer(bowl_space(1), inertia=-0.1)
+
+
+class TestGeneticAlgorithm:
+    def test_converges_on_bowl(self):
+        opt = GeneticAlgorithmOptimizer(bowl_space(2), population_size=10, seed=0)
+        res = TuningSession(opt, quadratic_evaluator(), max_trials=120).run()
+        assert res.best_value < 0.05
+
+    def test_elites_survive(self):
+        opt = GeneticAlgorithmOptimizer(
+            bowl_space(1), population_size=6, elite_fraction=0.34, seed=0
+        )
+        res = TuningSession(opt, quadratic_evaluator(), max_trials=60).run()
+        assert opt.generation >= 5
+        # The best config must persist across generations.
+        assert any(c == res.best_config for c in opt._population)
+
+    def test_handles_categoricals(self):
+        opt = GeneticAlgorithmOptimizer(
+            bowl_space(1, with_cat=True), population_size=10, seed=0
+        )
+        res = TuningSession(opt, cat_evaluator, max_trials=100).run()
+        assert res.best_config["mode"] == "good"
+
+    def test_validation(self):
+        with pytest.raises(OptimizerError):
+            GeneticAlgorithmOptimizer(bowl_space(1), population_size=2)
+        with pytest.raises(OptimizerError):
+            GeneticAlgorithmOptimizer(bowl_space(1), elite_fraction=1.0)
+        with pytest.raises(OptimizerError):
+            GeneticAlgorithmOptimizer(bowl_space(1), mutation_rate=1.5)

@@ -1,0 +1,94 @@
+"""Unit tests for conditional-activation rules."""
+
+import pytest
+
+from repro.space import (
+    BooleanParameter,
+    CallableCondition,
+    CategoricalParameter,
+    ConfigurationSpace,
+    EqualsCondition,
+    FloatParameter,
+    GreaterThanCondition,
+    InCondition,
+    LessThanCondition,
+)
+
+
+class TestConditionPredicates:
+    def test_equals(self):
+        c = EqualsCondition("child", "parent", "on")
+        assert c.evaluate("on")
+        assert not c.evaluate("off")
+
+    def test_in(self):
+        c = InCondition("child", "parent", ["a", "b"])
+        assert c.evaluate("a") and c.evaluate("b")
+        assert not c.evaluate("c")
+        assert not c.evaluate(["a"])  # unhashable handled
+
+    def test_greater_less(self):
+        assert GreaterThanCondition("c", "p", 5).evaluate(6)
+        assert not GreaterThanCondition("c", "p", 5).evaluate(5)
+        assert LessThanCondition("c", "p", 5).evaluate(4)
+        assert not LessThanCondition("c", "p", 5).evaluate(5)
+
+    def test_callable(self):
+        c = CallableCondition("c", "p", lambda v: v % 2 == 0)
+        assert c.evaluate(4)
+        assert not c.evaluate(3)
+
+    def test_missing_parent_inactive(self):
+        c = EqualsCondition("child", "parent", 1)
+        assert not c.is_active({})
+
+
+class TestActivationResolution:
+    def build_chain(self):
+        """a -> b -> c: b active iff a, c active iff b."""
+        space = ConfigurationSpace("chain")
+        space.add(BooleanParameter("a"))
+        space.add(BooleanParameter("b"))
+        space.add(FloatParameter("c", 0, 1))
+        space.add_condition(EqualsCondition("b", "a", True))
+        space.add_condition(EqualsCondition("c", "b", True))
+        return space
+
+    def test_chain_all_off(self):
+        space = self.build_chain()
+        active = space.active_names({"a": False, "b": True, "c": 0.5})
+        assert active == {"a"}
+
+    def test_chain_partial(self):
+        space = self.build_chain()
+        active = space.active_names({"a": True, "b": False, "c": 0.5})
+        assert active == {"a", "b"}
+
+    def test_chain_full(self):
+        space = self.build_chain()
+        active = space.active_names({"a": True, "b": True, "c": 0.5})
+        assert active == {"a", "b", "c"}
+
+    def test_grandchild_inactive_when_parent_inactive(self):
+        # c's condition on b is irrelevant when b itself is deactivated.
+        space = self.build_chain()
+        cfg = space.make({"a": False, "b": True, "c": 0.9})
+        assert not cfg.is_active("b")
+        assert not cfg.is_active("c")
+
+    def test_multiple_conditions_are_anded(self):
+        space = ConfigurationSpace("and")
+        space.add(CategoricalParameter("engine", ["x", "y"]))
+        space.add(IntegerLike := FloatParameter("level", 0, 10, default=5))
+        space.add(FloatParameter("tuning", 0, 1))
+        space.add_condition(EqualsCondition("tuning", "engine", "x"))
+        space.add_condition(GreaterThanCondition("tuning", "level", 3))
+        assert "tuning" in space.active_names({"engine": "x", "level": 5.0})
+        assert "tuning" not in space.active_names({"engine": "x", "level": 1.0})
+        assert "tuning" not in space.active_names({"engine": "y", "level": 5.0})
+
+    def test_sampling_respects_activation(self):
+        space = self.build_chain()
+        space_default = space.make({})
+        # default a=False -> everything pinned to defaults
+        assert space_default["c"] == 0.5

@@ -1,0 +1,70 @@
+"""Unit tests for hard constraints."""
+
+import pytest
+
+from repro.space.constraints import (
+    CallableConstraint,
+    LinearConstraint,
+    RatioConstraint,
+    all_satisfied,
+)
+
+
+class TestLinearConstraint:
+    def test_satisfied(self):
+        c = LinearConstraint({"a": 1.0, "b": 2.0}, bound=10.0)
+        assert c.is_satisfied({"a": 2, "b": 4})  # 2 + 8 = 10 <= 10
+        assert not c.is_satisfied({"a": 3, "b": 4})
+
+    def test_negative_coefficients(self):
+        # wal <= 0.5 * pool  <=>  wal - 0.5 pool <= 0
+        c = LinearConstraint({"wal": 1.0, "pool": -0.5}, bound=0.0)
+        assert c.is_satisfied({"wal": 64, "pool": 128})
+        assert not c.is_satisfied({"wal": 65, "pool": 128})
+
+    def test_missing_param_means_satisfied(self):
+        c = LinearConstraint({"a": 1.0}, bound=0.0)
+        assert c.is_satisfied({"b": 100})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LinearConstraint({}, 0.0)
+
+
+class TestRatioConstraint:
+    def test_mysql_chunk_rule(self):
+        # chunk <= pool / instances — the tutorial's example.
+        c = RatioConstraint("chunk", "pool", "instances")
+        assert c.is_satisfied({"chunk": 128, "pool": 1024, "instances": 8})
+        assert not c.is_satisfied({"chunk": 129, "pool": 1024, "instances": 8})
+
+    def test_two_knob_form(self):
+        c = RatioConstraint("small", "big")
+        assert c.is_satisfied({"small": 5, "big": 10})
+        assert not c.is_satisfied({"small": 11, "big": 10})
+
+    def test_zero_divisor_infeasible(self):
+        c = RatioConstraint("a", "b", "z")
+        assert not c.is_satisfied({"a": 1, "b": 10, "z": 0})
+
+    def test_missing_param_satisfied(self):
+        c = RatioConstraint("a", "b", "z")
+        assert c.is_satisfied({"a": 1, "b": 10})
+
+
+class TestCallableConstraint:
+    def test_predicate(self):
+        c = CallableConstraint(lambda v: v.get("x", 0) + v.get("y", 0) < 5)
+        assert c.is_satisfied({"x": 1, "y": 2})
+        assert not c.is_satisfied({"x": 4, "y": 4})
+
+
+def test_all_satisfied():
+    cs = [
+        LinearConstraint({"a": 1.0}, 10.0),
+        CallableConstraint(lambda v: v["a"] > 0),
+    ]
+    assert all_satisfied(cs, {"a": 5})
+    assert not all_satisfied(cs, {"a": -1})
+    assert not all_satisfied(cs, {"a": 11})
+    assert all_satisfied([], {"a": 999})

@@ -1,0 +1,213 @@
+"""Unit tests for ConfigurationSpace and Configuration."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    ConstraintViolationError,
+    DuplicateParameterError,
+    SamplingError,
+    SpaceError,
+    UnknownParameterError,
+)
+from repro.space import (
+    BooleanParameter,
+    CallableConstraint,
+    CategoricalParameter,
+    ConfigurationSpace,
+    EqualsCondition,
+    FloatParameter,
+    IntegerParameter,
+)
+
+
+class TestConstruction:
+    def test_duplicate_rejected(self, simple_space):
+        with pytest.raises(DuplicateParameterError):
+            simple_space.add(FloatParameter("x", 0, 1))
+
+    def test_unknown_condition_refs(self, simple_space):
+        with pytest.raises(UnknownParameterError):
+            simple_space.add_condition(EqualsCondition("nope", "x", 1))
+
+    def test_self_condition_rejected(self, simple_space):
+        with pytest.raises(SpaceError):
+            simple_space.add_condition(EqualsCondition("x", "x", 1))
+
+    def test_condition_cycle_rejected(self):
+        space = ConfigurationSpace("cyc")
+        space.add(BooleanParameter("a"))
+        space.add(BooleanParameter("b"))
+        space.add_condition(EqualsCondition("a", "b", True))
+        with pytest.raises(SpaceError):
+            space.add_condition(EqualsCondition("b", "a", True))
+
+    def test_introspection(self, simple_space):
+        assert simple_space.n_dims == 4
+        assert len(simple_space) == 4
+        assert "x" in simple_space
+        assert "zzz" not in simple_space
+        assert simple_space.index_of("y") == 1
+        with pytest.raises(UnknownParameterError):
+            simple_space["zzz"]
+
+
+class TestMake:
+    def test_defaults_fill_gaps(self, simple_space):
+        cfg = simple_space.make({"x": 0.9})
+        assert cfg["x"] == 0.9
+        assert cfg["n"] == 8
+        assert cfg["mode"] == "a"
+
+    def test_unknown_key_rejected(self, simple_space):
+        with pytest.raises(UnknownParameterError):
+            simple_space.make({"bogus": 1})
+
+    def test_invalid_value_rejected(self, simple_space):
+        from repro.exceptions import InvalidValueError
+
+        with pytest.raises(InvalidValueError):
+            simple_space.make({"x": 99.0})
+
+    def test_inactive_pinned_to_default(self, conditional_space):
+        cfg = conditional_space.make({"jit": False, "jit_cost": 5000})
+        assert cfg["jit_cost"] == 10**5  # reset to default
+        assert not cfg.is_active("jit_cost")
+
+    def test_active_conditional_keeps_value(self, conditional_space):
+        cfg = conditional_space.make({"jit": True, "jit_cost": 5000})
+        assert cfg["jit_cost"] == 5000
+        assert cfg.is_active("jit_cost")
+
+    def test_constraint_enforced(self, conditional_space):
+        with pytest.raises(ConstraintViolationError):
+            conditional_space.make({"pool": 64, "instances": 16, "chunk": 4096})
+
+    def test_constraint_skippable(self, conditional_space):
+        cfg = conditional_space.make(
+            {"pool": 64, "instances": 16, "chunk": 4096}, check_constraints=False
+        )
+        assert not conditional_space.is_feasible(cfg)
+
+    def test_configuration_is_mapping(self, simple_space):
+        cfg = simple_space.default_configuration()
+        assert set(cfg) == set(simple_space.names)
+        assert len(cfg) == 4
+        assert dict(cfg) == cfg.as_dict()
+
+    def test_equality_and_hash(self, simple_space):
+        a = simple_space.make({"x": 0.25})
+        b = simple_space.make({"x": 0.25})
+        c = simple_space.make({"x": 0.75})
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_with_updates(self, simple_space):
+        a = simple_space.default_configuration()
+        b = a.with_updates(x=0.9)
+        assert b["x"] == 0.9 and a["x"] == 0.5
+
+
+class TestSampling:
+    def test_samples_valid_and_feasible(self, conditional_space, rng):
+        for _ in range(50):
+            cfg = conditional_space.sample(rng)
+            assert conditional_space.is_feasible(cfg)
+            assert cfg["chunk"] <= cfg["pool"] / cfg["instances"] + 1e-9
+
+    def test_deterministic_with_seed(self):
+        s1 = ConfigurationSpace("s", seed=7)
+        s1.add(FloatParameter("x", 0, 1))
+        s2 = ConfigurationSpace("s", seed=7)
+        s2.add(FloatParameter("x", 0, 1))
+        assert [s1.sample()["x"] for _ in range(5)] == [s2.sample()["x"] for _ in range(5)]
+
+    def test_unsatisfiable_constraints_raise(self):
+        space = ConfigurationSpace("bad")
+        space.add(FloatParameter("x", 0, 1))
+        space.add_constraint(CallableConstraint(lambda v: False, name="never"))
+        with pytest.raises(SamplingError):
+            space.sample()
+
+    def test_sample_many(self, simple_space, rng):
+        configs = simple_space.sample_many(10, rng)
+        assert len(configs) == 10
+
+
+class TestEncoding:
+    def test_roundtrip_unit_array(self, simple_space, rng):
+        for _ in range(20):
+            cfg = simple_space.sample(rng)
+            again = simple_space.from_unit_array(simple_space.to_unit_array(cfg))
+            for name in simple_space.names:
+                if simple_space[name].is_numeric:
+                    assert float(again[name]) == pytest.approx(float(cfg[name]), rel=0.01)
+                else:
+                    assert again[name] == cfg[name]
+
+    def test_unit_array_in_bounds(self, conditional_space, rng):
+        for _ in range(20):
+            x = conditional_space.to_unit_array(conditional_space.sample(rng))
+            assert np.all((x >= 0) & (x <= 1))
+
+    def test_from_unit_array_shape_check(self, simple_space):
+        with pytest.raises(SpaceError):
+            simple_space.from_unit_array([0.5, 0.5])
+
+
+class TestNeighbors:
+    def test_neighbor_feasible(self, conditional_space, rng):
+        cfg = conditional_space.sample(rng)
+        for _ in range(30):
+            cfg = conditional_space.neighbor(cfg, rng, scale=0.2)
+            assert conditional_space.is_feasible(cfg)
+
+    def test_neighbor_changes_something(self, simple_space, rng):
+        cfg = simple_space.default_configuration()
+        changed = sum(
+            1
+            for _ in range(20)
+            if simple_space.neighbor(cfg, rng, scale=0.3) != cfg
+        )
+        assert changed >= 15
+
+
+class TestGrid:
+    def test_grid_covers_categoricals(self, simple_space):
+        grid = simple_space.grid(points_per_dim=3)
+        modes = {cfg["mode"] for cfg in grid}
+        assert modes == {"a", "b", "c"}
+
+    def test_grid_size_bound(self, simple_space):
+        with pytest.raises(SpaceError):
+            simple_space.grid(points_per_dim=100, max_points=50)
+
+    def test_grid_drops_infeasible(self, conditional_space):
+        grid = conditional_space.grid(points_per_dim=3)
+        assert all(conditional_space.is_feasible(c) for c in grid)
+
+    def test_grid_deduplicates_conditionals(self, conditional_space):
+        grid = conditional_space.grid(points_per_dim=2)
+        assert len(set(grid)) == len(grid)
+
+
+class TestSubspace:
+    def test_subspace_keeps_params(self, conditional_space):
+        sub = conditional_space.subspace(["pool", "instances"])
+        assert set(sub.names) == {"pool", "instances"}
+
+    def test_subspace_drops_partial_constraints(self, conditional_space):
+        sub = conditional_space.subspace(["pool", "instances"])  # chunk gone
+        assert len(sub.constraints) == 0
+
+    def test_subspace_keeps_full_constraints(self, conditional_space):
+        sub = conditional_space.subspace(["pool", "instances", "chunk"])
+        assert len(sub.constraints) == 1
+
+    def test_subspace_keeps_conditions(self, conditional_space):
+        sub = conditional_space.subspace(["jit", "jit_cost"])
+        assert len(sub.conditions) == 1
+
+    def test_subspace_unknown_name(self, conditional_space):
+        with pytest.raises(UnknownParameterError):
+            conditional_space.subspace(["nope"])

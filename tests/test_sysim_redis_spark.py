@@ -1,0 +1,142 @@
+"""Unit tests for the Redis and Spark simulators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError, SystemCrashError
+from repro.sysim import QUIET_CLOUD, RedisServer, SparkCluster, redis_benchmark_workload
+from repro.workloads import TPCH_QUERIES, tpch
+
+
+@pytest.fixture
+def redis():
+    return RedisServer(env=QUIET_CLOUD(seed=0), seed=0)
+
+
+@pytest.fixture
+def spark():
+    return SparkCluster(n_nodes=10, env=QUIET_CLOUD(seed=0), seed=0)
+
+
+class TestRedisKernelKnob:
+    def test_valley_is_off_default(self, redis):
+        """The running example: the optimum sits far from the default."""
+        default = redis.kernel_response(500_000)
+        optimum = redis.kernel_response(180_000)
+        assert optimum < default
+
+    def test_headline_68_percent_reduction(self, redis):
+        """Slide 10: '68 % reduction in P95 latency for Redis'."""
+        w = redis_benchmark_workload()
+        m_default = redis.run(w, config=redis.space.default_configuration())
+        m_tuned = redis.run(w, config=redis.space.make({"sched_migration_cost_ns": 180_000}))
+        reduction = 1.0 - m_tuned.latency_p95 / m_default.latency_p95
+        assert 0.55 < reduction < 0.80
+
+    def test_response_is_nonconvex(self, redis):
+        """The curve has ripples: a local search can get stuck."""
+        xs = np.linspace(0, 1_000_000, 400)
+        ys = np.array([redis.kernel_response(x) for x in xs])
+        d = np.diff(ys)
+        sign_changes = int(np.sum(np.diff(np.sign(d)) != 0))
+        assert sign_changes >= 3
+
+    def test_response_positive_everywhere(self, redis):
+        for x in np.linspace(0, 1_000_000, 50):
+            assert redis.kernel_response(x) > 0
+
+
+class TestRedisOtherKnobs:
+    def test_io_threads_help_under_pressure(self, redis):
+        w = redis_benchmark_workload(concurrency=400)
+        m1 = redis.run(w, config=redis.space.make({"io_threads": 1}))
+        m8 = redis.run(w, config=redis.space.make({"io_threads": 8}))
+        assert m8.latency_p95 < m1.latency_p95
+
+    def test_appendfsync_durability_costs_latency(self, redis):
+        w = redis_benchmark_workload()
+        always = redis.run(w, config=redis.space.make({"appendfsync": "always"}))
+        off = redis.run(w, config=redis.space.make({"appendfsync": "no"}))
+        assert always.latency_p95 > off.latency_p95
+
+    def test_eviction_policy_matters_only_when_tight(self, redis):
+        small = redis_benchmark_workload(data_mb=1024)
+        m_lru = redis.run(small, config=redis.space.make({"maxmemory_policy": "allkeys-lru"}))
+        m_no = redis.run(small, config=redis.space.make({"maxmemory_policy": "noeviction"}))
+        assert m_lru.latency_p95 == pytest.approx(m_no.latency_p95, rel=0.02)
+        tight = redis_benchmark_workload(data_mb=15_000)
+        m_lru = redis.run(tight, config=redis.space.make({"maxmemory_policy": "allkeys-lru"}))
+        m_no = redis.run(tight, config=redis.space.make({"maxmemory_policy": "noeviction"}))
+        assert m_no.latency_p95 > m_lru.latency_p95
+
+    def test_oversized_dataset_crashes(self, redis):
+        w = redis_benchmark_workload(data_mb=100_000)
+        with pytest.raises(SystemCrashError):
+            redis.run(w)
+
+
+class TestSparkModel:
+    def test_q1_default_runtime_plausible(self, spark):
+        runtime = spark.query_runtime_s(1, scale_factor=10.0)
+        assert 5.0 < runtime < 300.0
+
+    def test_more_executors_speed_up_scans(self, spark):
+        fast = spark.space.make({"executor_instances": 16, "executor_cores": 4})
+        slow = spark.space.make({"executor_instances": 2, "executor_cores": 2})
+        assert spark.query_runtime_s(1, 10.0, fast) < spark.query_runtime_s(1, 10.0, slow)
+
+    def test_partition_extremes_hurt(self, spark):
+        few = spark.space.make({"executor_instances": 16, "executor_cores": 4, "shuffle_partitions": 8})
+        many = spark.space.make({"executor_instances": 16, "executor_cores": 4, "shuffle_partitions": 2000})
+        sweet = spark.space.make({"executor_instances": 16, "executor_cores": 4, "shuffle_partitions": 128})
+        q9 = spark.query_runtime_s(9, 10.0, sweet)
+        assert spark.query_runtime_s(9, 10.0, few) > q9
+        assert spark.query_runtime_s(9, 10.0, many) > q9
+
+    def test_memory_spill_cliff(self, spark):
+        tight = spark.space.make({"executor_instances": 8, "executor_cores": 4, "executor_memory_mb": 1300})
+        roomy = spark.space.make({"executor_instances": 8, "executor_cores": 4, "executor_memory_mb": 12288})
+        assert spark.query_runtime_s(18, 20.0, tight) > spark.query_runtime_s(18, 20.0, roomy)
+
+    def test_kryo_and_compression_help_shuffles(self, spark):
+        base = {"executor_instances": 8, "executor_cores": 4}
+        slow = spark.space.make({**base, "serializer": "java", "compress_shuffle": False})
+        fast = spark.space.make({**base, "serializer": "kryo", "compress_shuffle": True})
+        assert spark.query_runtime_s(9, 10.0, fast) < spark.query_runtime_s(9, 10.0, slow)
+
+    def test_overallocation_crashes(self, spark):
+        greedy = spark.space.make({"executor_instances": 50, "executor_memory_mb": 16_384})
+        with pytest.raises(SystemCrashError):
+            spark.query_runtime_s(1, 10.0, greedy)
+
+    def test_executor_oom_crashes(self, spark):
+        tiny = spark.space.make({"executor_cores": 8, "executor_memory_mb": 512})
+        with pytest.raises(SystemCrashError):
+            spark.query_runtime_s(1, 10.0, tiny)
+
+    def test_q6_cheaper_than_q9(self, spark):
+        """Selective scan vs join monster: the well-known TPC-H ordering."""
+        cfg = spark.space.make({"executor_instances": 8, "executor_cores": 4})
+        assert spark.query_runtime_s(6, 10.0, cfg) < spark.query_runtime_s(9, 10.0, cfg)
+
+    def test_all_queries_run(self, spark):
+        cfg = spark.space.make({"executor_instances": 8, "executor_cores": 4})
+        for q in TPCH_QUERIES:
+            assert spark.query_runtime_s(q, 1.0, cfg) > 0
+
+    def test_game_evaluator(self, spark):
+        evaluate = spark.q1_game_evaluator(scale_factor=10.0, noise=False)
+        value, cost = evaluate(spark.space.default_configuration())
+        assert value == cost > 0
+
+    def test_performance_profile(self, spark):
+        m = spark.run(tpch(2.0))
+        assert m.latency_avg > 0
+        assert 0 <= m.cpu_util <= 1
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            SparkCluster(n_nodes=0)
+        spark = SparkCluster(n_nodes=2, env=QUIET_CLOUD(seed=0), seed=0)
+        with pytest.raises(ReproError):
+            spark.query_runtime_s(1, scale_factor=0.0)
