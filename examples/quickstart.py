@@ -31,3 +31,22 @@ print(f"tuned   P95 latency: {result.best_value:.3f} ms")
 print(f"best knob value:     sched_migration_cost_ns = {result.best_config['sched_migration_cost_ns']}")
 print(f"reduction:           {1 - result.best_value / default.latency_p95:.0%}")
 print(result.summary())
+
+# -- Parallel tuning with tracing ------------------------------------------
+# batch_size > 1 plus a thread-pool executor runs trials concurrently, and
+# a TelemetryCallback records one span per trial (outcome, retries, timing).
+from repro import TelemetryCallback, ThreadedExecutor
+
+telemetry = TelemetryCallback()
+optimizer = BayesianOptimizer(space, objectives=Objective("latency_p95"), seed=1)
+with ThreadedExecutor(max_workers=4) as executor:
+    parallel_result = TuningSession(
+        optimizer,
+        server.evaluator(workload, metric="latency_p95"),
+        max_trials=16,
+        batch_size=4,
+        callbacks=[telemetry],
+        executor=executor,
+    ).run()
+print(f"parallel P95 latency: {parallel_result.best_value:.3f} ms "
+      f"({telemetry.trace.outcome_counts()} over {len(telemetry.trace.spans)} spans)")

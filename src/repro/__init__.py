@@ -12,6 +12,7 @@ genetic, hybrid bandits, safety), the systems substrate it all runs on
 from .core import (
     Callback,
     ConvergenceTracker,
+    EvaluationResult,
     History,
     Objective,
     Optimizer,
@@ -19,7 +20,17 @@ from .core import (
     TrialStatus,
     TuningResult,
     TuningSession,
+    coerce_evaluation,
 )
+from .execution import (
+    ProcessExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    ThreadedExecutor,
+    TrialExecution,
+    TrialExecutor,
+)
+from .telemetry import SessionTrace, TelemetryCallback, TrialSpan
 from .exceptions import (
     BudgetExhaustedError,
     ConstraintViolationError,
@@ -59,6 +70,17 @@ __version__ = "1.0.0"
 __all__ = [
     "Callback",
     "ConvergenceTracker",
+    "EvaluationResult",
+    "coerce_evaluation",
+    "ProcessExecutor",
+    "RetryPolicy",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "TrialExecution",
+    "TrialExecutor",
+    "SessionTrace",
+    "TelemetryCallback",
+    "TrialSpan",
     "History",
     "Objective",
     "Optimizer",

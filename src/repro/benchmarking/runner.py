@@ -86,6 +86,10 @@ class BenchmarkRunner:
     runtime_metric:
         When True, trial cost is the measured metric value itself (TPC-H
         style) rather than the fixed duration.
+    trace:
+        Optional :class:`~repro.telemetry.SessionTrace`; when given, the
+        runner counts benchmark runs/seconds/aborts into it, so the JSON
+        trace shows where the benchmark budget actually went.
     """
 
     def __init__(
@@ -98,6 +102,7 @@ class BenchmarkRunner:
         aggregate: str = "median",
         early_abort: EarlyAbortPolicy | None = None,
         runtime_metric: bool = False,
+        trace=None,
     ) -> None:
         if repeats < 1:
             raise ReproError(f"repeats must be >= 1, got {repeats}")
@@ -110,6 +115,11 @@ class BenchmarkRunner:
         self.early_abort = early_abort
         self.runtime_metric = runtime_metric
         self.total_benchmark_seconds = 0.0
+        self.trace = trace
+
+    def _count(self, name: str, value: float = 1.0) -> None:
+        if self.trace is not None:
+            self.trace.incr(f"benchmark.{name}", value)
 
     def measure(self, config: Configuration) -> Measurement:
         runs = [
@@ -123,13 +133,20 @@ class BenchmarkRunner:
         m = self.measure(config)
         value = m.metric(self.objective.name)
         cost = value * self.repeats if self.runtime_metric else m.elapsed_s
+        self._count("runs", self.repeats)
         if self.early_abort is not None:
             try:
                 value = self.early_abort.check(value, self.objective.name)
             except TrialAbortedError as abort:
-                self.total_benchmark_seconds += getattr(abort, "cost", cost)
+                paid = getattr(abort, "cost", cost)
+                self.total_benchmark_seconds += paid
+                self._count("aborts")
+                self._count("seconds", paid)
+                if self.trace is not None:
+                    self.trace.gauge("benchmark.seconds_saved", self.early_abort.saved_cost)
                 raise
         self.total_benchmark_seconds += cost
+        self._count("seconds", cost)
         metrics = dict(m.metrics())
         metrics[self.objective.name] = value
         return metrics, cost

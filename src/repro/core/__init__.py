@@ -1,6 +1,7 @@
 """Tuning core: ask/tell protocol, trials, sessions, callbacks."""
 
 from .callbacks import Callback, ConvergenceTracker, LoggingCallback, StopWhenConverged, StopWhenReached
+from .evaluation import EvaluationResult, coerce_evaluation, run_evaluation
 from .optimizer import History, Objective, Optimizer, Trial, TrialStatus
 from .result import TuningResult
 from .storage import (
@@ -21,6 +22,9 @@ __all__ = [
     "LoggingCallback",
     "StopWhenConverged",
     "StopWhenReached",
+    "EvaluationResult",
+    "coerce_evaluation",
+    "run_evaluation",
     "History",
     "Objective",
     "Optimizer",

@@ -1,9 +1,35 @@
-"""Session callbacks: convergence tracking, logging, early stopping."""
+"""Session callbacks: convergence tracking, logging, early stopping.
+
+Hook ordering
+-------------
+For every batch the :class:`~repro.core.session.TuningSession` dispatches,
+hooks fire in this order (telemetry and retry logic rely on it):
+
+1. ``should_stop(session)`` — polled before each batch; any ``True`` ends
+   the session.
+2. ``on_trial_start(session, trial_index)`` — once per trial in the batch,
+   in dispatch order, *before* any trial of the batch executes.
+3. Per trial, in **completion order** (= dispatch order for the serial
+   executor, arbitrary for pool executors):
+
+   a. ``on_trial_error(session, trial, exc)`` — only for trials that ended
+      ``FAILED``/``ABORTED``; the trial is already recorded (with imputed
+      metrics) when this fires, and ``exc`` is the causing exception or
+      ``None`` (e.g. a timeout detected post-hoc).
+   b. ``on_trial_end(session, trial)`` — every trial, success or failure.
+
+4. ``on_batch_end(session, trials)`` — once per batch, after every
+   ``on_trial_end`` of the batch, with the trials in completion order.
+5. ``on_session_end(session)`` — exactly once, after the final batch.
+
+All hooks are no-ops on the base class, so subclasses override only what
+they need — no subclass hacks required to see errors or batch boundaries.
+"""
 
 from __future__ import annotations
 
 import logging
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -18,13 +44,26 @@ logger = logging.getLogger(__name__)
 
 
 class Callback:
-    """Observer hooks invoked by :class:`~repro.core.session.TuningSession`."""
+    """Observer hooks invoked by :class:`~repro.core.session.TuningSession`.
+
+    See the module docstring for the guaranteed hook ordering.
+    """
 
     def on_trial_start(self, session: "TuningSession", trial_index: int) -> None:
-        """Called before each trial is evaluated."""
+        """Called before each trial is evaluated (per batch, in dispatch order)."""
+
+    def on_trial_error(self, session: "TuningSession", trial: Trial, exc: BaseException | None) -> None:
+        """Called when a trial failed or aborted, just before ``on_trial_end``.
+
+        ``trial`` is already recorded in the history (with imputed metrics);
+        ``exc`` is the exception that ended the evaluation, when one exists.
+        """
 
     def on_trial_end(self, session: "TuningSession", trial: Trial) -> None:
         """Called after each trial is recorded."""
+
+    def on_batch_end(self, session: "TuningSession", trials: Sequence[Trial]) -> None:
+        """Called once per dispatched batch, after all its trials ended."""
 
     def on_session_end(self, session: "TuningSession") -> None:
         """Called once when the session finishes."""

@@ -2,26 +2,38 @@
 
 ``TuningSession`` wires an :class:`~repro.core.optimizer.Optimizer` to an
 *evaluator* — any callable taking a configuration and returning metrics —
-and runs the suggest → evaluate → observe loop under trial/cost budgets.
-Crashes (:class:`~repro.exceptions.SystemCrashError`) and early aborts
-(:class:`~repro.exceptions.TrialAbortedError`) become failed trials with
-imputed scores rather than terminating the run.
+and runs the suggest → dispatch → observe-as-completed loop under trial and
+cost budgets. Trial execution is delegated to a
+:class:`~repro.execution.TrialExecutor`: the default serial executor keeps
+the historic in-process semantics, while a thread- or process-pool executor
+makes ``batch_size > 1`` run trials genuinely concurrently (asynchronous
+parallel tuning). Crashes (:class:`~repro.exceptions.SystemCrashError`) and
+early aborts (:class:`~repro.exceptions.TrialAbortedError`) become failed
+trials with imputed scores rather than terminating the run; that folding
+lives in :func:`repro.core.evaluation.run_evaluation`, shared by every
+executor backend.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping, Sequence
+import time
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
-from ..exceptions import OptimizerError, SystemCrashError, TrialAbortedError
+from ..exceptions import OptimizerError
 from ..space import Configuration
 from .callbacks import Callback
-from .optimizer import Optimizer, TrialStatus
+from .evaluation import coerce_evaluation
+from .optimizer import Optimizer, Trial
 from .result import TuningResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a circular import)
+    from ..execution import TrialExecution, TrialExecutor
 
 __all__ = ["TuningSession", "Evaluator"]
 
 #: An evaluator maps a configuration to a metric value or metric mapping.
-#: It may also return ``(metrics, cost)`` to report trial cost explicitly.
+#: It may also return ``(metrics, cost)`` or an
+#: :class:`~repro.core.evaluation.EvaluationResult` to report more.
 Evaluator = Callable[[Configuration], Any]
 
 
@@ -34,16 +46,23 @@ class TuningSession:
         Any ask/tell optimizer.
     evaluator:
         Callable evaluating one configuration. May return a float, a metric
-        mapping, or a ``(metrics, cost)`` tuple; may raise
+        mapping, a ``(metrics, cost)`` tuple, or an
+        :class:`~repro.core.evaluation.EvaluationResult`; may raise
         :class:`SystemCrashError` or :class:`TrialAbortedError`.
     max_trials:
         Trial budget.
     max_cost:
         Optional cumulative-cost budget (e.g. total benchmark seconds).
     batch_size:
-        Suggestions requested per iteration (synchronous parallel tuning).
+        Suggestions requested per iteration. With a parallel executor the
+        batch runs concurrently and is observed in completion order.
     callbacks:
-        Observers; see :mod:`repro.core.callbacks`.
+        Observers; see :mod:`repro.core.callbacks` for the hook ordering.
+    executor:
+        A :class:`~repro.execution.TrialExecutor`; defaults to the serial
+        in-thread executor (historic behavior). The session does not own
+        the executor — reuse it across sessions and ``shutdown()`` it when
+        done (or use it as a context manager).
     """
 
     def __init__(
@@ -54,6 +73,7 @@ class TuningSession:
         max_cost: float | None = None,
         batch_size: int = 1,
         callbacks: Sequence[Callback] = (),
+        executor: "TrialExecutor | None" = None,
     ) -> None:
         if max_trials < 1:
             raise OptimizerError(f"max_trials must be >= 1, got {max_trials}")
@@ -65,15 +85,19 @@ class TuningSession:
         self.max_cost = max_cost
         self.batch_size = int(batch_size)
         self.callbacks = list(callbacks)
+        self.executor = executor
+        self.last_suggest_latency_s = 0.0
 
     # -- internals ---------------------------------------------------------
     @staticmethod
     def _unpack(result: Any) -> tuple[Mapping[str, float] | float, float]:
-        """Normalise evaluator output to (metrics, cost)."""
-        if isinstance(result, tuple) and len(result) == 2:
-            metrics, cost = result
-            return metrics, float(cost)
-        return result, 1.0
+        """Normalise evaluator output to (metrics, cost).
+
+        Kept for backward compatibility; the canonical normalisation is
+        :func:`repro.core.evaluation.coerce_evaluation`.
+        """
+        ev = coerce_evaluation(result)
+        return ev.metrics, ev.cost
 
     def _spent(self) -> float:
         return self.optimizer.history.total_cost()
@@ -85,41 +109,71 @@ class TuningSession:
             return False
         return any(cb.should_stop(self) for cb in self.callbacks) is False
 
+    def _make_executor(self) -> "TrialExecutor":
+        if self.executor is not None:
+            return self.executor
+        from ..execution import SerialExecutor  # deferred: core must not hard-depend on execution
+
+        return SerialExecutor()
+
     # -- main loop ----------------------------------------------------------
     def run(self) -> TuningResult:
         """Run to budget exhaustion and return the result."""
+        executor = self._make_executor()
         n_done = len(self.optimizer.history)
         while self._budget_left(n_done):
             want = min(self.batch_size, self.max_trials - n_done)
+            t0 = time.perf_counter()
             configs = self.optimizer.suggest(want)
-            for config in configs:
+            self.last_suggest_latency_s = time.perf_counter() - t0
+            per_trial_suggest_s = self.last_suggest_latency_s / max(1, len(configs))
+            for i in range(len(configs)):
                 for cb in self.callbacks:
-                    cb.on_trial_start(self, n_done)
-                trial = self._evaluate_one(config)
-                n_done += 1
-                for cb in self.callbacks:
-                    cb.on_trial_end(self, trial)
-                if not self._budget_left(n_done):
-                    break
+                    cb.on_trial_start(self, n_done + i)
+            batch: list[Trial] = []
+            results = executor.map(self.evaluator, configs)
+            try:
+                for execution in results:
+                    trial = self._observe_execution(execution, per_trial_suggest_s)
+                    n_done += 1
+                    batch.append(trial)
+                    if not trial.ok:
+                        for cb in self.callbacks:
+                            cb.on_trial_error(self, trial, execution.result.exception)
+                    for cb in self.callbacks:
+                        cb.on_trial_end(self, trial)
+                    if not self._budget_left(n_done):
+                        break  # lazy executors skip the unevaluated remainder
+            finally:
+                close = getattr(results, "close", None)
+                if close is not None:
+                    close()
+            for cb in self.callbacks:
+                cb.on_batch_end(self, batch)
         for cb in self.callbacks:
             cb.on_session_end(self)
         return self.result()
 
-    def _evaluate_one(self, config: Configuration):
-        try:
-            metrics, cost = self._unpack(self.evaluator(config))
-        except SystemCrashError:
-            return self.optimizer.observe_failure(config, status=TrialStatus.FAILED)
-        except TrialAbortedError as abort:
-            # An aborted elapsed-time benchmark still carries information: the
-            # run exceeded the abort threshold, so report that censored value.
-            censored = getattr(abort, "censored_metrics", None)
-            if censored:
-                return self.optimizer.observe(
-                    config, censored, cost=getattr(abort, "cost", 1.0), status=TrialStatus.SUCCEEDED
-                )
-            return self.optimizer.observe_failure(config, status=TrialStatus.ABORTED)
-        return self.optimizer.observe(config, metrics, cost=cost)
+    def _observe_execution(self, execution: "TrialExecution", suggest_latency_s: float = 0.0) -> Trial:
+        """Record one executed trial with the optimizer, carrying the
+        execution-side instrumentation into ``Trial.context``."""
+        result = execution.result
+        context = dict(result.metadata)
+        context["retries"] = execution.retries
+        context["evaluate_s"] = execution.wall_clock_s
+        context["suggest_latency_s"] = suggest_latency_s
+        context.setdefault("outcome", result.outcome)
+        if result.ok:
+            return self.optimizer.observe(
+                execution.config,
+                result.metrics,
+                cost=result.cost,
+                status=result.status,
+                context=context,
+            )
+        return self.optimizer.observe_failure(
+            execution.config, cost=result.cost, status=result.status, context=context
+        )
 
     def result(self) -> TuningResult:
         """Snapshot the current result (valid mid-run as well)."""

@@ -1,0 +1,21 @@
+"""Trial execution: serial/thread/process backends, timeouts, retries."""
+
+from .executor import (
+    ProcessExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    ThreadedExecutor,
+    TrialExecution,
+    TrialExecutor,
+    execute_trial,
+)
+
+__all__ = [
+    "ProcessExecutor",
+    "RetryPolicy",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "TrialExecution",
+    "TrialExecutor",
+    "execute_trial",
+]

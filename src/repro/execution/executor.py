@@ -1,0 +1,273 @@
+"""Trial executors: serial, thread-pool, and process-pool backends.
+
+The tutorial's scheduler slide describes *parallel suggestion* — "suggest k
+points, batch execute trials" — and TUNA-style noisy-cloud tuning demands
+running many instrumented trials concurrently. This module is the execution
+substrate: a :class:`TrialExecutor` takes a batch of configurations plus an
+evaluator and yields :class:`TrialExecution` records **as trials complete**,
+handling per-trial timeouts, bounded retry with exponential backoff, and the
+crash/abort → status folding (via :func:`repro.core.evaluation.run_evaluation`)
+that previously lived inline in ``TuningSession``.
+
+Backends:
+
+* :class:`SerialExecutor` — evaluates in the caller's thread, lazily; the
+  zero-dependency default with semantics identical to the historic loop.
+* :class:`ThreadedExecutor` — a ``concurrent.futures.ThreadPoolExecutor``
+  pool; right for evaluators that block on I/O, subprocesses, or sleeps
+  (i.e. real benchmarks).
+* :class:`ProcessExecutor` — a ``ProcessPoolExecutor`` pool for CPU-bound
+  evaluators; the evaluator and configurations must be picklable.
+
+Timeouts run the evaluation on a daemon thread and abandon it at the
+deadline — the trial is recorded as ``FAILED`` with ``outcome="timeout"``
+and a :class:`TimeoutError` exception, and the optimizer imputes it like a
+crash. (Python threads cannot be killed; the abandoned evaluation may keep
+running in the background until it returns.)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent import futures as _futures
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..core.evaluation import EvaluationResult, run_evaluation
+from ..core.optimizer import TrialStatus
+from ..exceptions import ReproError, SystemCrashError
+from ..space import Configuration
+
+__all__ = [
+    "RetryPolicy",
+    "TrialExecution",
+    "TrialExecutor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "ProcessExecutor",
+    "execute_trial",
+]
+
+Evaluator = Callable[[Configuration], Any]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for flaky evaluations.
+
+    A trial is retried when its evaluation ended with an exception whose
+    type matches ``retry_on`` (timeouts surface as :class:`TimeoutError`)
+    and fewer than ``max_retries`` retries have been spent. The k-th retry
+    waits ``backoff_s * backoff_factor**k`` seconds first.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    retry_on: tuple[type[BaseException], ...] = (SystemCrashError, TimeoutError)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ReproError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_s < 0 or self.backoff_factor < 1.0:
+            raise ReproError("backoff_s must be >= 0 and backoff_factor >= 1")
+
+    def delay(self, retry_index: int) -> float:
+        """Sleep before the ``retry_index``-th retry (0-based)."""
+        return self.backoff_s * self.backoff_factor**retry_index
+
+    def should_retry(self, result: EvaluationResult, retries_spent: int) -> bool:
+        if result.ok or retries_spent >= self.max_retries:
+            return False
+        return result.exception is not None and isinstance(result.exception, self.retry_on)
+
+
+@dataclass
+class TrialExecution:
+    """One executed trial: the result plus execution-side instrumentation."""
+
+    index: int  # position within the dispatched batch
+    config: Configuration
+    result: EvaluationResult
+    retries: int = 0
+    wall_clock_s: float = 0.0
+    attempts: list[str] = field(default_factory=list)  # outcome tag per attempt
+
+
+def _call_with_timeout(evaluator: Evaluator, config: Configuration, timeout_s: float | None) -> EvaluationResult:
+    """One evaluation attempt, abandoned at ``timeout_s`` if it overruns."""
+    if timeout_s is None:
+        return run_evaluation(evaluator, config)
+    box: dict[str, EvaluationResult] = {}
+
+    def target() -> None:
+        box["result"] = run_evaluation(evaluator, config)
+
+    worker = threading.Thread(target=target, daemon=True, name="repro-trial-eval")
+    worker.start()
+    worker.join(timeout_s)
+    if worker.is_alive() or "result" not in box:
+        return EvaluationResult(
+            metrics=None,
+            cost=float(timeout_s),
+            status=TrialStatus.FAILED,
+            metadata={"outcome": "timeout", "error": f"trial exceeded timeout of {timeout_s:g}s"},
+            exception=TimeoutError(f"trial exceeded timeout of {timeout_s:g}s"),
+        )
+    return box["result"]
+
+
+def execute_trial(
+    evaluator: Evaluator,
+    config: Configuration,
+    index: int = 0,
+    timeout_s: float | None = None,
+    retry: RetryPolicy | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+) -> TrialExecution:
+    """Run one trial to completion: attempt, retry with backoff, instrument.
+
+    Module-level (not a method) so :class:`ProcessExecutor` can pickle it.
+    """
+    start = clock()
+    retries = 0
+    attempts: list[str] = []
+    while True:
+        result = _call_with_timeout(evaluator, config, timeout_s)
+        attempts.append(result.outcome)
+        if retry is None or not retry.should_retry(result, retries):
+            break
+        sleep(retry.delay(retries))
+        retries += 1
+    if retries:
+        result.metadata.setdefault("retries", retries)
+    return TrialExecution(
+        index=index,
+        config=config,
+        result=result,
+        retries=retries,
+        wall_clock_s=clock() - start,
+        attempts=attempts,
+    )
+
+
+class TrialExecutor(ABC):
+    """Executes batches of trials; yields results as they complete.
+
+    Parameters
+    ----------
+    timeout_s:
+        Per-trial wall-clock deadline; overruns become ``FAILED`` trials
+        with ``outcome="timeout"`` (imputed by the optimizer like crashes).
+    retry:
+        Optional :class:`RetryPolicy`. ``None`` means no retries — exactly
+        the historic in-session behavior.
+    """
+
+    #: Lazy executors evaluate on demand as the caller iterates; breaking
+    #: out of ``map`` mid-batch skips the unevaluated remainder (the
+    #: historic serial-loop semantics). Pool executors dispatch eagerly.
+    lazy = False
+
+    def __init__(self, timeout_s: float | None = None, retry: RetryPolicy | None = None) -> None:
+        if timeout_s is not None and timeout_s <= 0:
+            raise ReproError(f"timeout_s must be > 0, got {timeout_s}")
+        self.timeout_s = timeout_s
+        self.retry = retry
+
+    @abstractmethod
+    def map(self, evaluator: Evaluator, configs: Sequence[Configuration]) -> Iterator[TrialExecution]:
+        """Yield a :class:`TrialExecution` per config, in completion order."""
+
+    def shutdown(self) -> None:
+        """Release pooled resources (no-op for serial)."""
+
+    def __enter__(self) -> "TrialExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+class SerialExecutor(TrialExecutor):
+    """Evaluate trials one at a time in the caller's thread, lazily."""
+
+    lazy = True
+
+    def map(self, evaluator: Evaluator, configs: Sequence[Configuration]) -> Iterator[TrialExecution]:
+        for i, config in enumerate(configs):
+            yield execute_trial(evaluator, config, i, self.timeout_s, self.retry)
+
+
+class _PoolExecutor(TrialExecutor):
+    """Shared machinery for the concurrent.futures-backed backends."""
+
+    def __init__(
+        self,
+        max_workers: int = 4,
+        timeout_s: float | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        super().__init__(timeout_s=timeout_s, retry=retry)
+        if max_workers < 1:
+            raise ReproError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = int(max_workers)
+        self._pool: _futures.Executor | None = None
+
+    @abstractmethod
+    def _make_pool(self) -> _futures.Executor:
+        """Create the backing concurrent.futures executor."""
+
+    def _ensure_pool(self) -> _futures.Executor:
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def map(self, evaluator: Evaluator, configs: Sequence[Configuration]) -> Iterator[TrialExecution]:
+        pool = self._ensure_pool()
+        pending: set[Future] = {
+            pool.submit(execute_trial, evaluator, config, i, self.timeout_s, self.retry)
+            for i, config in enumerate(configs)
+        }
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield future.result()
+        finally:
+            for future in pending:
+                future.cancel()
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+
+class ThreadedExecutor(_PoolExecutor):
+    """Thread-pool backend — concurrent trials that block on I/O or sleep.
+
+    Python threads share the GIL, so the speedup is real only when the
+    evaluator releases it (syscalls, subprocess benchmarks, sleeps, numpy) —
+    which is exactly what system benchmarks do.
+    """
+
+    def _make_pool(self) -> _futures.Executor:
+        return _futures.ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-trial"
+        )
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool backend for CPU-bound evaluators.
+
+    The evaluator and configurations cross a pickle boundary: closures and
+    lambdas won't work — use module-level callables or callable objects.
+    """
+
+    def _make_pool(self) -> _futures.Executor:
+        return _futures.ProcessPoolExecutor(max_workers=self.max_workers)

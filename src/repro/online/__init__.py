@@ -1,6 +1,7 @@
 """Online tuning: agents, RL policies, GAs, hybrid bandits, safety."""
 
 from .actor_critic import ActorCriticTuner
+from .adapters import OnlinePolicyOptimizer, OptimizerPolicy
 from .agent import OnlinePolicy, OnlineResult, OnlineStepRecord, OnlineTuningAgent
 from .contextual import ContextualBOTuner, StaticConfigPolicy
 from .genetic import GeneticAlgorithmOptimizer, GeneticOnlineTuner
@@ -12,6 +13,8 @@ from .safety import Guardrail, GuardrailVerdict, SafeBayesianOptimizer
 
 __all__ = [
     "ActorCriticTuner",
+    "OnlinePolicyOptimizer",
+    "OptimizerPolicy",
     "OnlinePolicy",
     "OnlineResult",
     "OnlineStepRecord",

@@ -12,6 +12,7 @@ feed it back, and let the guardrail veto/rollback regressions.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
@@ -40,6 +41,18 @@ class OnlinePolicy(ABC):
 
         Rewards are normalised "higher is better" values.
         """
+
+    def as_optimizer(self, space, objectives=None, observation_fn=None, seed=None):
+        """Expose this policy behind the offline ``suggest(n)``/``observe``
+        protocol, so sessions, executors, and telemetry can drive it.
+
+        See :class:`repro.online.adapters.OnlinePolicyOptimizer`.
+        """
+        from .adapters import OnlinePolicyOptimizer  # deferred: avoids a circular import
+
+        return OnlinePolicyOptimizer(
+            space, self, objectives=objectives, observation_fn=observation_fn, seed=seed
+        )
 
 
 @dataclass
@@ -103,6 +116,10 @@ class OnlineTuningAgent:
         Maps (workload, last measurement metrics) to the observation vector
         the policy sees. Defaults to observable load features only — the
         agent cannot read the workload's ground truth.
+    trace:
+        Optional :class:`~repro.telemetry.SessionTrace`; when given, the
+        agent records one span per step (outcome, wall-clock, reward) plus
+        crash/rollback counters — the online twin of the session telemetry.
     """
 
     def __init__(
@@ -113,6 +130,7 @@ class OnlineTuningAgent:
         guardrail: Guardrail | None = None,
         duration_s: float = 60.0,
         observe=None,
+        trace=None,
     ) -> None:
         self.system = system
         self.policy = policy
@@ -123,6 +141,7 @@ class OnlineTuningAgent:
         self._last_metrics: dict[str, float] = {}
         self._safe_config = system.current_config
         self._reward_scale: float | None = None
+        self.trace = trace
 
     @staticmethod
     def _default_observation(workload, last_metrics: dict[str, float]) -> np.ndarray:
@@ -158,7 +177,9 @@ class OnlineTuningAgent:
         for step in range(len(trace)):
             workload = trace.at(step)
             obs = self._observe(workload, self._last_metrics)
+            step_started = time.perf_counter()
             config = self.policy.propose(obs)
+            propose_s = time.perf_counter() - step_started
             crashed = rolled_back = False
             try:
                 measurement = self.system.run(workload, duration_s=self.duration_s, config=config)
@@ -184,7 +205,47 @@ class OnlineTuningAgent:
                 elif verdict.is_safe_point:
                     self._safe_config = config
             self.policy.feedback(obs, config, reward)
+            self._record_span(step, workload.name, value, reward, propose_s, step_started, crashed, rolled_back)
             result.records.append(
                 OnlineStepRecord(step, workload.name, config, float(value), float(reward), crashed, rolled_back)
             )
+        if self.trace is not None:
+            self.trace.gauge("steps.total", float(len(result.records)))
         return result
+
+    def _record_span(
+        self,
+        step: int,
+        workload_name: str,
+        value: float,
+        reward: float,
+        propose_s: float,
+        step_started: float,
+        crashed: bool,
+        rolled_back: bool,
+    ) -> None:
+        """Record one online step into the telemetry trace, if attached."""
+        if self.trace is None:
+            return
+        from ..telemetry import TrialSpan  # deferred: online must not hard-depend on telemetry
+
+        now = self.trace.clock()
+        outcome = "crash" if crashed else ("rollback" if rolled_back else "success")
+        self.trace.add_span(
+            TrialSpan(
+                trial_id=step,
+                status="failed" if crashed else "succeeded",
+                outcome=outcome,
+                started_s=now - (time.perf_counter() - step_started),
+                ended_s=now,
+                suggest_latency_s=propose_s,
+                evaluate_s=time.perf_counter() - step_started - propose_s,
+                cost=self.duration_s,
+                attributes={"workload": workload_name, "value": float(value), "reward": float(reward)},
+            )
+        )
+        self.trace.incr("steps.total")
+        if crashed:
+            self.trace.incr("steps.crashes")
+        if rolled_back:
+            self.trace.incr("steps.rollbacks")

@@ -1,0 +1,6 @@
+"""Tuner observability: trial spans, session counters/gauges, JSON export."""
+
+from .callback import TelemetryCallback
+from .tracing import SessionTrace, TrialSpan
+
+__all__ = ["SessionTrace", "TelemetryCallback", "TrialSpan"]

@@ -1,0 +1,93 @@
+"""Telemetry wiring for tuning sessions, via the Callback mechanism.
+
+:class:`TelemetryCallback` turns the hook stream of a
+:class:`~repro.core.session.TuningSession` into a
+:class:`~repro.telemetry.tracing.SessionTrace`: exactly one
+:class:`~repro.telemetry.tracing.TrialSpan` per trial (success *or*
+failure), counters for starts/outcomes/errors/retries/batches, and gauges
+for the incumbent. Execution-side instrumentation (evaluate wall-clock,
+retry count, outcome tag, suggest latency) arrives through
+``Trial.context`` — the session records it there when observing executor
+results, so this callback needs no knowledge of which executor ran the
+trial.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..core.callbacks import Callback
+from ..core.optimizer import Trial
+from .tracing import SessionTrace, TrialSpan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.session import TuningSession
+
+__all__ = ["TelemetryCallback"]
+
+
+class TelemetryCallback(Callback):
+    """Records a :class:`SessionTrace` for a tuning session.
+
+    Parameters
+    ----------
+    trace:
+        Trace to append to; a fresh one is created when omitted.
+    export_path:
+        When set, the trace is written there as JSON at session end.
+    """
+
+    def __init__(self, trace: SessionTrace | None = None, export_path: str | None = None) -> None:
+        self.trace = trace if trace is not None else SessionTrace()
+        self.export_path = export_path
+
+    # -- hooks ---------------------------------------------------------------
+    def on_trial_start(self, session: "TuningSession", trial_index: int) -> None:
+        self.trace.incr("trials.started")
+
+    def on_trial_error(self, session: "TuningSession", trial: Trial, exc: BaseException | None) -> None:
+        self.trace.incr("trials.errors")
+        if exc is not None:
+            self.trace.incr(f"trials.errors.{type(exc).__name__}")
+
+    def on_trial_end(self, session: "TuningSession", trial: Trial) -> None:
+        ctx = trial.context
+        now = self.trace.clock()
+        evaluate_s = float(ctx.get("evaluate_s", 0.0))
+        retries = int(ctx.get("retries", 0))
+        outcome = str(ctx.get("outcome", "success" if trial.ok else trial.status.value))
+        self.trace.add_span(
+            TrialSpan(
+                trial_id=trial.trial_id,
+                status=trial.status.value,
+                outcome=outcome,
+                started_s=now - evaluate_s,
+                ended_s=now,
+                suggest_latency_s=float(ctx.get("suggest_latency_s", 0.0)),
+                evaluate_s=evaluate_s,
+                retries=retries,
+                cost=trial.cost,
+                error=ctx.get("error"),
+            )
+        )
+        self.trace.incr("trials.total")
+        self.trace.incr(f"trials.{trial.status.value}")
+        if retries:
+            self.trace.incr("trials.retries", retries)
+        self.trace.incr("suggest.seconds", float(ctx.get("suggest_latency_s", 0.0)))
+        self.trace.incr("evaluate.seconds", evaluate_s)
+        self.trace.incr("cost.total", trial.cost)
+
+    def on_batch_end(self, session: "TuningSession", trials: Sequence[Trial]) -> None:
+        self.trace.incr("batches.total")
+        self.trace.gauge("batch.size.last", float(len(trials)))
+
+    def on_session_end(self, session: "TuningSession") -> None:
+        obj = session.optimizer.objective
+        try:
+            self.trace.gauge("best.value", float(session.optimizer.history.best_value(obj)))
+        except Exception:
+            pass  # every trial failed — there is no incumbent to report
+        self.trace.gauge("trials.history", float(len(session.optimizer.history)))
+        if self.export_path is not None:
+            self.trace.export(self.export_path)

@@ -1,0 +1,130 @@
+"""Tuning-run observability: per-trial spans, counters/gauges, JSON export.
+
+Taming noisy cloud trials (TUNA) and tuning the tuner itself both start
+from the same prerequisite: *knowing what happened inside every trial*.
+This module gives tuning runs a lightweight, dependency-free trace model
+in the OpenTelemetry spirit:
+
+* :class:`TrialSpan` — one trial (or online step): when it ran, how long
+  the suggest and evaluate phases took, how many retries it burned, and
+  how it ended (``success`` / ``crash`` / ``abort`` / ``censored`` /
+  ``timeout``);
+* :class:`SessionTrace` — the spans plus session-level counters and
+  gauges, exportable as JSON for offline analysis or dashboards.
+
+Not to be confused with :mod:`repro.sysim.telemetry`, which generates the
+*system* utilisation time series that workload identification embeds; this
+module observes the *tuner*.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["TrialSpan", "SessionTrace"]
+
+
+@dataclass
+class TrialSpan:
+    """One trial's execution record."""
+
+    trial_id: int
+    status: str = "succeeded"
+    outcome: str = "success"  # success | crash | abort | censored | timeout
+    started_s: float = 0.0
+    ended_s: float = 0.0
+    suggest_latency_s: float = 0.0
+    evaluate_s: float = 0.0
+    retries: int = 0
+    cost: float = 0.0
+    error: str | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.ended_s - self.started_s)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trial_id": self.trial_id,
+            "status": self.status,
+            "outcome": self.outcome,
+            "started_s": self.started_s,
+            "ended_s": self.ended_s,
+            "duration_s": self.duration_s,
+            "suggest_latency_s": self.suggest_latency_s,
+            "evaluate_s": self.evaluate_s,
+            "retries": self.retries,
+            "cost": self.cost,
+            "error": self.error,
+            "attributes": dict(self.attributes),
+        }
+
+
+class SessionTrace:
+    """Spans + counters + gauges for one tuning run.
+
+    Counters accumulate (``incr``), gauges hold the latest value (``gauge``).
+    The trace is deliberately schema-light: anything a callback, runner, or
+    agent wants to record fits in a counter, a gauge, or a span attribute.
+    """
+
+    def __init__(self, name: str = "tuning-session", clock: Callable[[], float] = time.monotonic) -> None:
+        self.name = name
+        self.clock = clock
+        self.started_s = clock()
+        self.spans: list[TrialSpan] = []
+        self.counters: dict[str, float] = defaultdict(float)
+        self.gauges: dict[str, float] = {}
+
+    # -- recording ----------------------------------------------------------
+    def add_span(self, span: TrialSpan) -> TrialSpan:
+        self.spans.append(span)
+        return span
+
+    def incr(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] += value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    # -- reading ------------------------------------------------------------
+    def span_for(self, trial_id: int) -> TrialSpan | None:
+        for span in self.spans:
+            if span.trial_id == trial_id:
+                return span
+        return None
+
+    def outcome_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = defaultdict(int)
+        for span in self.spans:
+            counts[span.outcome] += 1
+        return dict(counts)
+
+    # -- export -------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "started_s": self.started_s,
+            "elapsed_s": self.clock() - self.started_s,
+            "n_spans": len(self.spans),
+            "outcomes": self.outcome_counts(),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False, default=str)
+
+    def export(self, path: str) -> None:
+        """Write the trace as JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json(indent=2))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SessionTrace({self.name!r}, n_spans={len(self.spans)})"
