@@ -18,7 +18,7 @@ from .constrained_bo import ConstrainedBayesianOptimizer
 from .cmaes import CMAESOptimizer
 from .ensemble import EnsembleOptimizer
 from .forest import RandomForestRegressor, RegressionTree
-from .gp import GaussianProcessRegressor, default_kernel
+from .gp import GaussianProcessRegressor, SurrogateStats, default_kernel
 from .grid import GridSearchOptimizer
 from .hyperband import HyperbandResult, hyperband
 from .kernels import RBF, ConstantKernel, Kernel, Matern, Product, Sum, WhiteKernel
@@ -72,6 +72,7 @@ __all__ = [
     "RandomForestRegressor",
     "RegressionTree",
     "GaussianProcessRegressor",
+    "SurrogateStats",
     "default_kernel",
     "GridSearchOptimizer",
     "RBF",

@@ -18,7 +18,7 @@ import numpy as np
 from ..core import Objective, Optimizer, Trial
 from ..exceptions import OptimizerError
 from ..space import Configuration, ConfigurationSpace
-from ..space.encoding import OneHotEncoder, OrdinalEncoder, SpaceEncoder
+from ..space.encoding import OneHotEncoder, OrdinalEncoder, SpaceEncoder, TrialEncodingCache
 from .acquisition import AcquisitionFunction, ExpectedImprovement
 from .gp import GaussianProcessRegressor, default_kernel
 
@@ -72,6 +72,8 @@ class BayesianOptimizer(Optimizer):
         )
         self._model_stale = True
         self._fit_count = 0
+        # Per-trial feature-row memo: each fit re-encodes only new trials.
+        self._encoding_cache = TrialEncodingCache(self.encoder)
         # Constant-liar state for batch suggestions.
         self._lies: list[np.ndarray] = []
 
@@ -88,7 +90,7 @@ class BayesianOptimizer(Optimizer):
         # Failed trials enter with live-imputed penalty scores: the model
         # must learn where the crash region is, on the current y-scale.
         trials, y = self.history.training_data(self.objective, self.crash_penalty_factor)
-        X = self.encoder.encode_many([t.config for t in trials])
+        X = self._encoding_cache.encode_trials(trials)
         if self._lies:
             X = np.vstack([X, np.stack(self._lies)]) if len(X) else np.stack(self._lies)
             lie_value = float(y.min()) if len(y) else 0.0
@@ -107,11 +109,15 @@ class BayesianOptimizer(Optimizer):
     # -- candidate generation --------------------------------------------------------
     def _candidates(self) -> list[Configuration]:
         n_global = int(self.n_candidates * 0.7)
-        cands = [self.space.sample(self.rng) for _ in range(n_global)]
         try:
             best = self.history.best().config
         except OptimizerError:
             best = None
+        if best is not None and self.n_candidates - n_global < 1:
+            # Small candidate sets must still exploit the incumbent: always
+            # keep at least one local neighbor when one exists.
+            n_global = self.n_candidates - 1
+        cands = [self.space.sample(self.rng) for _ in range(n_global)]
         if best is not None:
             n_local = self.n_candidates - n_global
             for _ in range(n_local):
@@ -153,6 +159,16 @@ class BayesianOptimizer(Optimizer):
 
     def _on_observe(self, trial: Trial) -> None:
         self._model_stale = True
+
+    def surrogate_stats(self) -> dict[str, float]:
+        """Hot-path counters: GP fit/Cholesky/NLL stats plus cache hits.
+
+        Picked up by :class:`~repro.telemetry.TelemetryCallback`, which
+        attaches a snapshot to every trial span.
+        """
+        out = self.model.stats_dict()
+        out.update(self._encoding_cache.stats())
+        return out
 
     # -- introspection --------------------------------------------------------------------
     def surrogate_prediction(self, configs: list[Configuration]) -> tuple[np.ndarray, np.ndarray]:

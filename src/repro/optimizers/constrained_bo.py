@@ -23,7 +23,7 @@ from scipy import stats
 from ..core import Objective, Optimizer, Trial
 from ..exceptions import OptimizerError
 from ..space import Configuration, ConfigurationSpace
-from ..space.encoding import OrdinalEncoder
+from ..space.encoding import OrdinalEncoder, TrialEncodingCache
 from .acquisition import ExpectedImprovement
 from .gp import GaussianProcessRegressor, default_kernel
 
@@ -75,6 +75,7 @@ class ConstrainedBayesianOptimizer(Optimizer):
             for name in self.constraint_metrics
         }
         self.acquisition = ExpectedImprovement()
+        self._encoding_cache = TrialEncodingCache(self.encoder)
         self._stale = True
 
     # -- data -----------------------------------------------------------------
@@ -99,12 +100,19 @@ class ConstrainedBayesianOptimizer(Optimizer):
         trials, y = self.history.training_data(self.objective, self.crash_penalty_factor)
         if not trials:
             return
-        X = self.encoder.encode_many([t.config for t in trials])
+        # One encode per new trial; objective and constraint GPs share rows.
+        X = self._encoding_cache.encode_trials(trials)
         self.objective_model.fit(X, y)
         for name, model in self.constraint_models.items():
             cv = np.array([self._constraint_value(t, name) for t in trials])
             model.fit(X, cv)
         self._stale = False
+
+    def surrogate_stats(self) -> dict[str, float]:
+        """Objective-GP + encoding-cache counters (for telemetry spans)."""
+        out = self.objective_model.stats_dict()
+        out.update(self._encoding_cache.stats())
+        return out
 
     # -- suggest --------------------------------------------------------------
     def _suggest(self) -> Configuration:

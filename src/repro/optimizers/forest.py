@@ -66,7 +66,55 @@ class RegressionTree:
             raise OptimizerError(f"bad training data: {X.shape}, {y.shape}")
         self._n_features = X.shape[1]
         self._root = self._build(X, y, depth=0)
+        self._compile()
         return self
+
+    def _compile(self) -> None:
+        """Flatten the node tree into arrays for vectorized routing.
+
+        ``feature == -1`` marks a leaf. ``left``/``right`` hold node indices,
+        so prediction is a handful of fancy-indexing sweeps (one per tree
+        level) instead of a Python walk per sample.
+        """
+        features: list[int] = []
+        thresholds: list[float] = []
+        lefts: list[int] = []
+        rights: list[int] = []
+        values: list[float] = []
+        variances: list[float] = []
+
+        def add(node: _Node) -> int:
+            i = len(features)
+            features.append(-1 if node.is_leaf else node.feature)
+            thresholds.append(node.threshold)
+            values.append(node.value)
+            variances.append(node.variance)
+            lefts.append(-1)
+            rights.append(-1)
+            if not node.is_leaf:
+                lefts[i] = add(node.left)
+                rights[i] = add(node.right)
+            return i
+
+        add(self._root)
+        self._features = np.array(features, dtype=np.intp)
+        self._thresholds = np.array(thresholds)
+        self._lefts = np.array(lefts, dtype=np.intp)
+        self._rights = np.array(rights, dtype=np.intp)
+        self._values = np.array(values)
+        self._variances = np.array(variances)
+
+    def _route(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index for every row of X, routed level-by-level."""
+        idx = np.zeros(len(X), dtype=np.intp)
+        while True:
+            f = self._features[idx]
+            active = np.nonzero(f >= 0)[0]
+            if len(active) == 0:
+                return idx
+            cur = idx[active]
+            go_left = X[active, self._features[cur]] <= self._thresholds[cur]
+            idx[active] = np.where(go_left, self._lefts[cur], self._rights[cur])
 
     def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
         node = _Node(value=float(y.mean()), variance=float(y.var()))
@@ -113,22 +161,15 @@ class RegressionTree:
             return None
         return best[1], best[2]
 
-    def _leaf(self, x: np.ndarray) -> _Node:
-        node = self._root
-        while not node.is_leaf:
-            node = node.left if x[node.feature] <= node.threshold else node.right
-        return node
-
     def predict(self, X: np.ndarray, return_var: bool = False):
         if self._root is None:
             raise NotFittedError("tree is not fitted")
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        leaves = [self._leaf(x) for x in X]
-        mean = np.array([lf.value for lf in leaves])
+        idx = self._route(X)
+        mean = self._values[idx]
         if not return_var:
             return mean
-        var = np.array([lf.variance for lf in leaves])
-        return mean, var
+        return mean, self._variances[idx]
 
 
 class RandomForestRegressor:
@@ -167,19 +208,48 @@ class RandomForestRegressor:
             tree = RegressionTree(seed=int(self.rng.integers(2**31)), **self._tree_params)
             tree.fit(X[idx], y[idx])
             self._trees.append(tree)
+        self._compile()
         return self
+
+    def _compile(self) -> None:
+        """Concatenate all trees' node arrays so one routing sweep predicts
+        the whole ensemble — (n_trees × n_samples) states advance together,
+        one vectorized step per tree level."""
+        offsets = np.cumsum([0] + [len(t._features) for t in self._trees[:-1]])
+        self._roots = np.asarray(offsets, dtype=np.intp)
+        self._features = np.concatenate([t._features for t in self._trees])
+        self._thresholds = np.concatenate([t._thresholds for t in self._trees])
+        # Child indices shift by each tree's offset; leaves keep -1.
+        lefts, rights = [], []
+        for t, off in zip(self._trees, offsets):
+            internal = t._features >= 0
+            lefts.append(np.where(internal, t._lefts + off, -1))
+            rights.append(np.where(internal, t._rights + off, -1))
+        self._lefts = np.concatenate(lefts)
+        self._rights = np.concatenate(rights)
+        self._values = np.concatenate([t._values for t in self._trees])
+        self._variances = np.concatenate([t._variances for t in self._trees])
 
     def predict(self, X: np.ndarray, return_std: bool = False):
         if not self._trees:
             raise NotFittedError("forest is not fitted")
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        means = np.empty((self.n_trees, len(X)))
-        variances = np.empty((self.n_trees, len(X)))
-        for i, tree in enumerate(self._trees):
-            means[i], variances[i] = tree.predict(X, return_var=True)
+        n = len(X)
+        idx = np.repeat(self._roots, n)
+        col = np.tile(np.arange(n), self.n_trees)
+        while True:
+            f = self._features[idx]
+            active = np.nonzero(f >= 0)[0]
+            if len(active) == 0:
+                break
+            cur = idx[active]
+            go_left = X[col[active], self._features[cur]] <= self._thresholds[cur]
+            idx[active] = np.where(go_left, self._lefts[cur], self._rights[cur])
+        means = self._values[idx].reshape(self.n_trees, n)
         mean = means.mean(axis=0)
         if not return_std:
             return mean
         # Law of total variance across the ensemble.
+        variances = self._variances[idx].reshape(self.n_trees, n)
         var = means.var(axis=0) + variances.mean(axis=0)
         return mean, np.sqrt(np.maximum(var, 1e-12))

@@ -7,11 +7,24 @@ White noise kernels, and Sum/Product composition ("kernels can be combined").
 
 All hyperparameters live in log-space vectors (``theta``) so the marginal-
 likelihood optimizer can do unconstrained-ish box search.
+
+Every kernel supports ``__call__(X, eval_gradient=True)``, returning
+``(K, dK)`` where ``dK[:, :, j] = ∂K/∂θ_j`` (log-space). This powers the
+analytic marginal-likelihood gradients in
+:class:`~repro.optimizers.gp.GaussianProcessRegressor`, replacing the
+finite-difference L-BFGS-B search that re-formed the kernel matrix once per
+gradient component.
+
+Stationary kernels additionally cache the raw (unscaled) squared-difference
+tensor of the training matrix: within one hyperparameter fit the inputs are
+the same array object across every θ evaluation, so a length-scale change
+only rescales cached differences instead of recomputing O(n²·d) distances.
 """
 
 from __future__ import annotations
 
 import math
+import weakref
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -19,6 +32,10 @@ import numpy as np
 from ..exceptions import OptimizerError
 
 __all__ = ["Kernel", "ConstantKernel", "WhiteKernel", "RBF", "Matern", "Sum", "Product"]
+
+#: Raw squared-difference tensors larger than this many elements are
+#: recomputed on demand instead of cached (bounds memory to ~256 MB).
+_CACHE_MAX_ELEMENTS = 32_000_000
 
 
 def _cdist_sq(X1: np.ndarray, X2: np.ndarray, length_scale: np.ndarray) -> np.ndarray:
@@ -37,8 +54,16 @@ class Kernel(ABC):
     """A positive-semidefinite covariance function with log-space params."""
 
     @abstractmethod
-    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None) -> np.ndarray:
-        """Covariance matrix K(X1, X2); X2=None means K(X1, X1)."""
+    def __call__(
+        self, X1: np.ndarray, X2: np.ndarray | None = None, eval_gradient: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Covariance matrix K(X1, X2); X2=None means K(X1, X1).
+
+        With ``eval_gradient=True`` (only valid when ``X2 is None``), returns
+        ``(K, dK)`` where ``dK`` has shape ``(n, n, len(theta))`` and
+        ``dK[:, :, j]`` is the derivative of K w.r.t. the j-th log-space
+        hyperparameter.
+        """
 
     @abstractmethod
     def diag(self, X: np.ndarray) -> np.ndarray:
@@ -58,12 +83,21 @@ class Kernel(ABC):
     def bounds(self) -> np.ndarray:
         """(n_params, 2) log-space bounds."""
 
+    def walk(self):
+        """Yield this kernel and (for composites) every nested kernel."""
+        yield self
+
     # -- composition ---------------------------------------------------------
     def __add__(self, other: "Kernel") -> "Sum":
         return Sum(self, other)
 
     def __mul__(self, other: "Kernel") -> "Product":
         return Product(self, other)
+
+
+def _require_no_x2(X2: np.ndarray | None) -> None:
+    if X2 is not None:
+        raise OptimizerError("eval_gradient=True requires X2 is None (training matrix only)")
 
 
 class ConstantKernel(Kernel):
@@ -75,9 +109,14 @@ class ConstantKernel(Kernel):
         self.variance = float(variance)
         self._bounds = bounds
 
-    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None) -> np.ndarray:
+    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None, eval_gradient: bool = False):
         n2 = len(X1) if X2 is None else len(X2)
-        return np.full((len(X1), n2), self.variance)
+        K = np.full((len(X1), n2), self.variance)
+        if not eval_gradient:
+            return K
+        _require_no_x2(X2)
+        # ∂(v·1)/∂log v = v·1 = K.
+        return K, K[:, :, None].copy()
 
     def diag(self, X: np.ndarray) -> np.ndarray:
         return np.full(len(X), self.variance)
@@ -108,10 +147,13 @@ class WhiteKernel(Kernel):
         self.noise = float(noise)
         self._bounds = bounds
 
-    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None) -> np.ndarray:
-        if X2 is None:
-            return self.noise * np.eye(len(X1))
-        return np.zeros((len(X1), len(X2)))
+    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None, eval_gradient: bool = False):
+        K = self.noise * np.eye(len(X1)) if X2 is None else np.zeros((len(X1), len(X2)))
+        if not eval_gradient:
+            return K
+        _require_no_x2(X2)
+        # ∂(σ·I)/∂log σ = σ·I = K.
+        return K, K[:, :, None].copy()
 
     def diag(self, X: np.ndarray) -> np.ndarray:
         return np.full(len(X), self.noise)
@@ -130,7 +172,14 @@ class WhiteKernel(Kernel):
 
 
 class _StationaryKernel(Kernel):
-    """Shared machinery for distance-based kernels with ARD length-scales."""
+    """Shared machinery for distance-based kernels with ARD length-scales.
+
+    Caches the *unscaled* squared-difference tensor of the last training
+    matrix (keyed by array identity, held via weakref): summed over
+    dimensions for isotropic kernels, per-dimension for ARD. θ evaluations
+    within one fit pass the same array object, so hyperparameter search
+    rescales cached differences instead of recomputing them.
+    """
 
     def __init__(self, length_scale: float | np.ndarray = 1.0, bounds: tuple[float, float] = (1e-3, 1e3)) -> None:
         ls = np.atleast_1d(np.asarray(length_scale, dtype=float))
@@ -138,6 +187,58 @@ class _StationaryKernel(Kernel):
             raise OptimizerError(f"length_scale must be positive, got {length_scale}")
         self.length_scale = ls
         self._bounds = bounds
+        self._diff_ref: weakref.ref | None = None
+        self._diff_cache: np.ndarray | None = None
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def anisotropic(self) -> bool:
+        return self.length_scale.shape[0] > 1
+
+    def _raw_sq_diffs(self, X: np.ndarray) -> np.ndarray:
+        """Unscaled squared differences of X with itself (cached).
+
+        Shape ``(n, n)`` summed over dims for isotropic kernels, ``(n, n, d)``
+        per dimension for ARD. The cache assumes X is not mutated in place.
+        """
+        if self._diff_ref is not None and self._diff_ref() is X:
+            self.cache_hits += 1
+            return self._diff_cache
+        self.cache_misses += 1
+        if self.anisotropic:
+            diff = X[:, None, :] - X[None, :, :]
+            raw = diff * diff
+        else:
+            raw = _cdist_sq(X, X, np.ones(1))
+        if raw.size <= _CACHE_MAX_ELEMENTS:
+            try:
+                self._diff_ref = weakref.ref(X)
+                self._diff_cache = raw
+            except TypeError:
+                self._diff_ref = None
+                self._diff_cache = None
+        return raw
+
+    def _train_D2(self, X: np.ndarray) -> np.ndarray:
+        """Scaled squared distances D² of the training matrix (via cache)."""
+        raw = self._raw_sq_diffs(X)
+        if self.anisotropic:
+            return raw @ (1.0 / (self.length_scale**2))
+        return raw / (self.length_scale[0] ** 2)
+
+    def _train_components(self, X: np.ndarray) -> tuple[np.ndarray | None, np.ndarray]:
+        """(per-dim scaled sq diffs or None if isotropic, total D²)."""
+        raw = self._raw_sq_diffs(X)
+        if self.anisotropic:
+            comps = raw * (1.0 / (self.length_scale**2))
+            return comps, comps.sum(axis=2)
+        return None, raw / (self.length_scale[0] ** 2)
+
+    def _D2(self, X1: np.ndarray, X2: np.ndarray | None) -> np.ndarray:
+        if X2 is None:
+            return self._train_D2(X1)
+        return _cdist_sq(X1, X2, self.length_scale)
 
     @property
     def theta(self) -> np.ndarray:
@@ -161,9 +262,18 @@ class RBF(_StationaryKernel):
     ``length_scale`` may be a vector for ARD (one ℓ per input dimension).
     """
 
-    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None) -> np.ndarray:
-        X2 = X1 if X2 is None else X2
-        return np.exp(-0.5 * _cdist_sq(X1, X2, self.length_scale))
+    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None, eval_gradient: bool = False):
+        if not eval_gradient:
+            return np.exp(-0.5 * self._D2(X1, X2))
+        _require_no_x2(X2)
+        comps, D2 = self._train_components(X1)
+        K = np.exp(-0.5 * D2)
+        # ∂K/∂log ℓ_d = K · (Δ_d²/ℓ_d²); isotropic folds the sum into D².
+        if comps is not None:
+            dK = K[:, :, None] * comps
+        else:
+            dK = (K * D2)[:, :, None]
+        return K, dK
 
 
 class Matern(_StationaryKernel):
@@ -185,9 +295,7 @@ class Matern(_StationaryKernel):
             raise OptimizerError(f"nu must be one of {self._SUPPORTED_NU}, got {nu}")
         self.nu = float(nu)
 
-    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None) -> np.ndarray:
-        X2 = X1 if X2 is None else X2
-        d = np.sqrt(_cdist_sq(X1, X2, self.length_scale))
+    def _from_dist(self, d: np.ndarray) -> np.ndarray:
         if self.nu == 0.5:
             return np.exp(-d)
         if self.nu == 1.5:
@@ -196,11 +304,39 @@ class Matern(_StationaryKernel):
         s = math.sqrt(5.0) * d
         return (1.0 + s + s * s / 3.0) * np.exp(-s)
 
+    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None, eval_gradient: bool = False):
+        if not eval_gradient:
+            return self._from_dist(np.sqrt(self._D2(X1, X2)))
+        _require_no_x2(X2)
+        comps, D2 = self._train_components(X1)
+        d = np.sqrt(D2)
+        K = self._from_dist(d)
+        # Per-dimension factor g such that ∂K/∂log ℓ_d = g · (Δ_d²/ℓ_d²).
+        if self.nu == 0.5:
+            # g = e^{-d}/d, with the d→0 limit 0 (Δ_d = 0 there anyway).
+            with np.errstate(divide="ignore", invalid="ignore"):
+                g = np.where(d > 0.0, np.exp(-d) / np.where(d > 0.0, d, 1.0), 0.0)
+        elif self.nu == 1.5:
+            g = 3.0 * np.exp(-math.sqrt(3.0) * d)
+        else:
+            s = math.sqrt(5.0) * d
+            g = (5.0 / 3.0) * (1.0 + s) * np.exp(-s)
+        if comps is not None:
+            dK = g[:, :, None] * comps
+        else:
+            dK = (g * D2)[:, :, None]
+        return K, dK
+
 
 class _CompositeKernel(Kernel):
     def __init__(self, k1: Kernel, k2: Kernel) -> None:
         self.k1 = k1
         self.k2 = k2
+
+    def walk(self):
+        yield self
+        yield from self.k1.walk()
+        yield from self.k2.walk()
 
     @property
     def theta(self) -> np.ndarray:
@@ -220,8 +356,13 @@ class _CompositeKernel(Kernel):
 class Sum(_CompositeKernel):
     """K = K1 + K2 (e.g. signal kernel + white noise)."""
 
-    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None) -> np.ndarray:
-        return self.k1(X1, X2) + self.k2(X1, X2)
+    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None, eval_gradient: bool = False):
+        if not eval_gradient:
+            return self.k1(X1, X2) + self.k2(X1, X2)
+        _require_no_x2(X2)
+        K1, d1 = self.k1(X1, eval_gradient=True)
+        K2, d2 = self.k2(X1, eval_gradient=True)
+        return K1 + K2, np.concatenate([d1, d2], axis=2)
 
     def diag(self, X: np.ndarray) -> np.ndarray:
         return self.k1.diag(X) + self.k2.diag(X)
@@ -230,8 +371,14 @@ class Sum(_CompositeKernel):
 class Product(_CompositeKernel):
     """K = K1 ⊙ K2 (e.g. constant variance × RBF)."""
 
-    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None) -> np.ndarray:
-        return self.k1(X1, X2) * self.k2(X1, X2)
+    def __call__(self, X1: np.ndarray, X2: np.ndarray | None = None, eval_gradient: bool = False):
+        if not eval_gradient:
+            return self.k1(X1, X2) * self.k2(X1, X2)
+        _require_no_x2(X2)
+        K1, d1 = self.k1(X1, eval_gradient=True)
+        K2, d2 = self.k2(X1, eval_gradient=True)
+        dK = np.concatenate([d1 * K2[:, :, None], K1[:, :, None] * d2], axis=2)
+        return K1 * K2, dK
 
     def diag(self, X: np.ndarray) -> np.ndarray:
         return self.k1.diag(X) * self.k2.diag(X)

@@ -19,7 +19,7 @@ from scipy import linalg, optimize
 from ..core import Objective, Optimizer, Trial
 from ..exceptions import NotFittedError, OptimizerError
 from ..space import Configuration, ConfigurationSpace
-from ..space.encoding import OrdinalEncoder
+from ..space.encoding import OrdinalEncoder, TrialEncodingCache
 from .acquisition import ExpectedImprovement
 from .kernels import Kernel, Matern
 
@@ -187,13 +187,18 @@ class MultiTaskOptimizer(Optimizer):
         self.encoder = OrdinalEncoder(space)
         self.model = MultiOutputGP(len(objectives), seed=seed)
         self.acquisition = ExpectedImprovement()
+        self._encoding_cache = TrialEncodingCache(self.encoder)
         self._focus = 0
         self._stale = True
+
+    def surrogate_stats(self) -> dict[str, float]:
+        """Encoding-cache counters (picked up by telemetry spans)."""
+        return self._encoding_cache.stats()
 
     def _training(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         rows, tasks, ys = [], [], []
         for t in self.history.completed():
-            x = self.encoder.encode(t.config)
+            x = self._encoding_cache.encode_trial(t)
             for i, obj in enumerate(self.objectives):
                 if obj.name in t.metrics:
                     rows.append(x)

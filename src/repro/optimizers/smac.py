@@ -13,7 +13,7 @@ import numpy as np
 from ..core import Objective, Optimizer, Trial
 from ..exceptions import OptimizerError
 from ..space import Configuration, ConfigurationSpace
-from ..space.encoding import OneHotEncoder
+from ..space.encoding import OneHotEncoder, TrialEncodingCache
 from .acquisition import AcquisitionFunction, ExpectedImprovement
 from .forest import RandomForestRegressor
 
@@ -58,14 +58,19 @@ class SMACOptimizer(Optimizer):
         self.model = RandomForestRegressor(n_trees=n_trees, seed=seed)
         self._model_stale = True
         self._suggestion_count = 0
+        self._encoding_cache = TrialEncodingCache(self.encoder)
 
     def _fit_model(self) -> None:
         trials, y = self.history.training_data(self.objective, self.crash_penalty_factor)
         if not trials:
             return
-        X = self.encoder.encode_many([t.config for t in trials])
+        X = self._encoding_cache.encode_trials(trials)
         self.model.fit(X, y)
         self._model_stale = False
+
+    def surrogate_stats(self) -> dict[str, float]:
+        """Encoding-cache counters (picked up by telemetry spans)."""
+        return self._encoding_cache.stats()
 
     def _suggest(self) -> Configuration:
         self._suggestion_count += 1
@@ -78,14 +83,18 @@ class SMACOptimizer(Optimizer):
             self._fit_model()
         if not self.model.is_fitted:
             return self.space.sample(self.rng)
-        cands = [self.space.sample(self.rng) for _ in range(int(self.n_candidates * 0.7))]
+        n_global = int(self.n_candidates * 0.7)
         try:
             best = self.history.best().config
-            for _ in range(self.n_candidates - len(cands)):
+        except OptimizerError:
+            best = None
+        if best is not None and self.n_candidates - n_global < 1:
+            n_global = self.n_candidates - 1  # keep >= 1 local neighbor
+        cands = [self.space.sample(self.rng) for _ in range(n_global)]
+        if best is not None:
+            for _ in range(self.n_candidates - n_global):
                 scale = float(self.rng.choice([0.02, 0.05, 0.15]))
                 cands.append(self.space.neighbor(best, self.rng, scale=scale))
-        except OptimizerError:
-            pass
         X = self.encoder.encode_many(cands)
         mean, std = self.model.predict(X, return_std=True)
         best_score = float(self.history.scores().min())

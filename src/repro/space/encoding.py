@@ -9,7 +9,7 @@ Encoders turn configurations into fixed-width real vectors and back.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -17,7 +17,10 @@ from ..exceptions import SpaceError
 from .params import CategoricalParameter
 from .space import Configuration, ConfigurationSpace
 
-__all__ = ["SpaceEncoder", "OrdinalEncoder", "OneHotEncoder"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.optimizer import Trial
+
+__all__ = ["SpaceEncoder", "OrdinalEncoder", "OneHotEncoder", "TrialEncodingCache"]
 
 
 class SpaceEncoder(ABC):
@@ -59,6 +62,16 @@ class OrdinalEncoder(SpaceEncoder):
     def encode(self, config: Configuration) -> np.ndarray:
         return self.space.to_unit_array(config)
 
+    def encode_many(self, configs: Sequence[Configuration]) -> np.ndarray:
+        """Column-vectorized batch encode: one ``to_unit_many`` per knob."""
+        if not configs:
+            return np.empty((0, self.n_features))
+        X = np.empty((len(configs), self.n_features))
+        for j, p in enumerate(self.space.parameters):
+            values = [c.get(p.name, p.default) for c in configs]
+            X[:, j] = p.to_unit_many(values)
+        return X
+
     def decode(self, x: Sequence[float]) -> Configuration:
         return self.space.from_unit_array(np.clip(np.asarray(x, dtype=float), 0.0, 1.0))
 
@@ -94,6 +107,22 @@ class OneHotEncoder(SpaceEncoder):
                 x[start] = p.to_unit(config[name])
         return x
 
+    def encode_many(self, configs: Sequence[Configuration]) -> np.ndarray:
+        """Block-vectorized batch encode: one pass per knob, not per row."""
+        if not configs:
+            return np.empty((0, self._width))
+        X = np.zeros((len(configs), self._width))
+        rows = np.arange(len(configs))
+        for name, start, width in self._blocks:
+            p = self.space[name]
+            values = [c.get(name, p.default) for c in configs]
+            if isinstance(p, CategoricalParameter):
+                idx = np.array([p.index_of(v) for v in values])
+                X[rows, start + idx] = 1.0
+            else:
+                X[:, start] = p.to_unit_many(values)
+        return X
+
     def decode(self, x: Sequence[float]) -> Configuration:
         x = np.asarray(x, dtype=float)
         if x.shape != (self._width,):
@@ -106,3 +135,48 @@ class OneHotEncoder(SpaceEncoder):
             else:
                 values[name] = p.from_unit(float(np.clip(x[start], 0.0, 1.0)))
         return self.space.make(values, check_constraints=False)
+
+
+class TrialEncodingCache:
+    """Memoizes per-trial feature rows so append-only histories re-encode
+    only the trials observed since the previous surrogate fit.
+
+    Optimizers call :meth:`encode_trials` on every fit; rows are keyed by
+    ``trial_id`` (unique and stable within one optimizer), so the call is
+    O(new trials) instead of O(history). Configurations are immutable once
+    observed, making the memo safe for the lifetime of the optimizer.
+    """
+
+    def __init__(self, encoder: SpaceEncoder) -> None:
+        self.encoder = encoder
+        self._rows: dict[int, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def encode_trial(self, trial: "Trial") -> np.ndarray:
+        row = self._rows.get(trial.trial_id)
+        if row is None:
+            self.misses += 1
+            row = self.encoder.encode(trial.config)
+            self._rows[trial.trial_id] = row
+        else:
+            self.hits += 1
+        return row
+
+    def encode_trials(self, trials: Sequence["Trial"]) -> np.ndarray:
+        if not trials:
+            return np.empty((0, self.encoder.n_features))
+        missing = [t for t in trials if t.trial_id not in self._rows]
+        if missing:
+            fresh = self.encoder.encode_many([t.config for t in missing])
+            for t, row in zip(missing, fresh):
+                self._rows[t.trial_id] = row
+            self.misses += len(missing)
+        self.hits += len(trials) - len(missing)
+        return np.stack([self._rows[t.trial_id] for t in trials])
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+    def stats(self) -> dict[str, float]:
+        return {"encode_cache_hits": float(self.hits), "encode_cache_misses": float(self.misses)}

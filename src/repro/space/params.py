@@ -60,6 +60,14 @@ class Parameter(ABC):
     def to_unit(self, value: Any) -> float:
         """Map a domain value into ``[0, 1]``."""
 
+    def to_unit_many(self, values: Sequence[Any]) -> np.ndarray:
+        """Vectorized :meth:`to_unit` over a batch of values.
+
+        Subclasses override with closed-form array math where possible; the
+        fallback loops.
+        """
+        return np.array([self.to_unit(v) for v in values], dtype=float)
+
     @abstractmethod
     def from_unit(self, u: float) -> Any:
         """Map a unit-interval position back into the domain."""
@@ -122,6 +130,12 @@ class _NumericParameter(Parameter):
         lo, hi = self._internal_bounds
         u = (self._to_internal(float(value)) - lo) / (hi - lo)
         return min(1.0, max(0.0, u))
+
+    def to_unit_many(self, values: Sequence[Any]) -> np.ndarray:
+        v = np.asarray(values, dtype=float)
+        internal = np.log(v) if self.log else v
+        lo, hi = self._internal_bounds
+        return np.clip((internal - lo) / (hi - lo), 0.0, 1.0)
 
     def _unit_to_float(self, u: float) -> float:
         u = min(1.0, max(0.0, float(u)))
@@ -289,6 +303,10 @@ class CategoricalParameter(Parameter):
     def to_unit(self, value: Any) -> float:
         i = self.index_of(value)
         return (i + 0.5) / self.n_choices
+
+    def to_unit_many(self, values: Sequence[Any]) -> np.ndarray:
+        idx = np.array([self.index_of(v) for v in values], dtype=float)
+        return (idx + 0.5) / self.n_choices
 
     def from_unit(self, u: float) -> Any:
         u = min(1.0, max(0.0, float(u)))

@@ -56,7 +56,7 @@ class TelemetryCallback(Callback):
         evaluate_s = float(ctx.get("evaluate_s", 0.0))
         retries = int(ctx.get("retries", 0))
         outcome = str(ctx.get("outcome", "success" if trial.ok else trial.status.value))
-        self.trace.add_span(
+        span = self.trace.add_span(
             TrialSpan(
                 trial_id=trial.trial_id,
                 status=trial.status.value,
@@ -70,6 +70,19 @@ class TelemetryCallback(Callback):
                 error=ctx.get("error"),
             )
         )
+        # Surrogate hot-path counters (cholesky_ms, nll_evals, cache hits …):
+        # optimizers exposing `surrogate_stats()` get a cumulative snapshot on
+        # every span, so traces show where optimizer time goes.
+        stats_fn = getattr(session.optimizer, "surrogate_stats", None)
+        if callable(stats_fn):
+            try:
+                snapshot = stats_fn()
+            except Exception:
+                snapshot = None
+            if snapshot:
+                span.attributes["surrogate"] = dict(snapshot)
+                for key, value in snapshot.items():
+                    self.trace.gauge(f"surrogate.{key}", float(value))
         self.trace.incr("trials.total")
         self.trace.incr(f"trials.{trial.status.value}")
         if retries:

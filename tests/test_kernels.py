@@ -127,3 +127,75 @@ class TestComposition:
         X = grid(7)
         k = ConstantKernel(2.0) * RBF(0.4) + WhiteKernel(0.05)
         assert np.allclose(k.diag(X), np.diag(k(X)))
+
+
+def _fd_gradient(kernel, X, eps=1e-6):
+    """Finite-difference dK/dθ for comparison with eval_gradient."""
+    theta0 = kernel.theta.copy()
+    grads = []
+    for j in range(len(theta0)):
+        t_hi, t_lo = theta0.copy(), theta0.copy()
+        t_hi[j] += eps
+        t_lo[j] -= eps
+        kernel.theta = t_hi
+        K_hi = kernel(X)
+        kernel.theta = t_lo
+        K_lo = kernel(X)
+        grads.append((K_hi - K_lo) / (2 * eps))
+    kernel.theta = theta0
+    return np.dstack(grads)
+
+
+class TestEvalGradient:
+    KERNELS = {
+        "constant": lambda: ConstantKernel(1.7),
+        "white": lambda: WhiteKernel(0.05),
+        "rbf": lambda: RBF(0.4),
+        "rbf_ard": lambda: RBF(np.array([0.2, 0.7])),
+        "matern05": lambda: Matern(0.4, nu=0.5),
+        "matern15": lambda: Matern(np.array([0.3, 0.6]), nu=1.5),
+        "matern25": lambda: Matern(0.4, nu=2.5),
+        "sum": lambda: RBF(0.4) + WhiteKernel(0.05),
+        "product": lambda: ConstantKernel(2.0) * Matern(0.3, nu=2.5),
+        "workhorse": lambda: ConstantKernel(1.0) * Matern(np.array([0.3, 0.3]), nu=2.5)
+        + WhiteKernel(1e-3),
+    }
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_gradient_matches_finite_differences(self, name):
+        k = self.KERNELS[name]()
+        X = grid(9)
+        K, dK = k(X, eval_gradient=True)
+        assert np.allclose(K, k(X))
+        assert dK.shape == (len(X), len(X), len(k.theta))
+        assert np.allclose(dK, _fd_gradient(k, X), atol=1e-5)
+
+    def test_gradient_requires_square_call(self):
+        with pytest.raises(OptimizerError):
+            RBF(0.4)(grid(4), grid(3, seed=1), eval_gradient=True)
+
+    def test_walk_visits_nested_kernels(self):
+        k = ConstantKernel(1.0) * RBF(0.3) + WhiteKernel(0.01)
+        kinds = [type(x).__name__ for x in k.walk()]
+        assert {"Sum", "Product", "ConstantKernel", "RBF", "WhiteKernel"} <= set(kinds)
+
+
+class TestDistanceCache:
+    def test_same_array_hits_cache(self):
+        k = RBF(np.array([0.3, 0.5]))
+        X = grid(10)
+        K1 = k(X)
+        assert k.cache_misses == 1
+        k.theta = k.theta + 0.2  # rescale only — distances unchanged
+        K2 = k(X)
+        assert k.cache_hits == 1
+        # The cached tensor gives the same answer as a fresh computation.
+        assert np.allclose(K2, RBF(k.length_scale)(X.copy()))
+        assert not np.allclose(K1, K2)
+
+    def test_different_array_misses_cache(self):
+        k = Matern(0.4, nu=2.5)
+        X = grid(8)
+        k(X)
+        k(X.copy())
+        assert k.cache_misses == 2

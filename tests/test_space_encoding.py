@@ -63,6 +63,9 @@ class TestOneHotEncoder:
         with pytest.raises(SpaceError):
             enc.decode(np.zeros(2))
 
+    def test_encode_many_empty(self, simple_space):
+        assert OneHotEncoder(simple_space).encode_many([]).shape == (0, 6)
+
     def test_categorical_distance_is_symmetric(self, simple_space):
         """One-hot makes all category pairs equidistant — ordinal does not."""
         enc_oh = OneHotEncoder(simple_space)
@@ -78,3 +81,24 @@ class TestOneHotEncoder:
             for i, j in [(0, 1), (0, 2)]
         ]
         assert d_ord[0] < d_ord[1]  # artificial order imposed
+
+
+class TestVectorizedEncodeMany:
+    """The column-vectorized batch path must match row-by-row encode."""
+
+    @pytest.mark.parametrize("encoder_cls", [OrdinalEncoder, OneHotEncoder])
+    def test_matches_row_encoding(self, encoder_cls, simple_space, rng):
+        enc = encoder_cls(simple_space)
+        configs = simple_space.sample_many(20, rng)
+        batch = enc.encode_many(configs)
+        rows = np.stack([enc.encode(c) for c in configs])
+        np.testing.assert_allclose(batch, rows)
+
+    @pytest.mark.parametrize("encoder_cls", [OrdinalEncoder, OneHotEncoder])
+    def test_matches_row_encoding_conditional_space(self, encoder_cls, conditional_space, rng):
+        """Inactive conditional knobs fall back to defaults in both paths."""
+        enc = encoder_cls(conditional_space)
+        configs = conditional_space.sample_many(20, rng)
+        batch = enc.encode_many(configs)
+        rows = np.stack([enc.encode(c) for c in configs])
+        np.testing.assert_allclose(batch, rows)
