@@ -9,11 +9,11 @@ around.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from ..core import Objective, Optimizer, TuningSession
+from ..core import Callback, Objective, Optimizer, TuningSession
 from ..core.result import TuningResult
 from ..exceptions import ReproError
 
@@ -75,12 +75,16 @@ def compare_optimizers(
     max_trials: int,
     n_seeds: int = 3,
     max_cost: float | None = None,
+    callbacks_factory: Callable[[str, int], Sequence[Callback]] | None = None,
 ) -> dict[str, ComparisonResult]:
     """Run each optimizer factory over ``n_seeds`` fresh evaluators.
 
     ``factories[name](seed)`` builds the optimizer; ``evaluator_factory(seed)``
     builds a fresh evaluator (fresh system instance ⇒ independent noise) so
-    methods face identical conditions per seed.
+    methods face identical conditions per seed. ``callbacks_factory(name,
+    seed)`` builds per-run callbacks — e.g. one
+    :class:`~repro.telemetry.TelemetryCallback` per (optimizer, seed) so
+    every leg of the race gets its own trace.
     """
     if n_seeds < 1:
         raise ReproError(f"n_seeds must be >= 1, got {n_seeds}")
@@ -90,7 +94,11 @@ def compare_optimizers(
         for seed in range(n_seeds):
             optimizer = factory(seed)
             evaluator = evaluator_factory(seed)
-            session = TuningSession(optimizer, evaluator, max_trials=max_trials, max_cost=max_cost)
+            callbacks = callbacks_factory(name, seed) if callbacks_factory is not None else ()
+            session = TuningSession(
+                optimizer, evaluator, max_trials=max_trials, max_cost=max_cost,
+                callbacks=callbacks,
+            )
             comparison.results.append(session.run())
         out[name] = comparison
     return out

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 
 from ..core import Objective
 from ..exceptions import ReproError, TrialAbortedError
+from ..telemetry.spans import emit_event, span
 from ..space import Configuration
 from ..workloads import Workload
 from .measurement import Measurement, aggregate_measurements
@@ -122,11 +123,12 @@ class BenchmarkRunner:
             self.trace.incr(f"benchmark.{name}", value)
 
     def measure(self, config: Configuration) -> Measurement:
-        runs = [
-            self.system.run(self.workload, duration_s=self.duration_s, config=config)
-            for _ in range(self.repeats)
-        ]
-        return aggregate_measurements(runs, how=self.aggregate)
+        with span("benchmark.measure", repeats=self.repeats, workload=self.workload.name):
+            runs = [
+                self.system.run(self.workload, duration_s=self.duration_s, config=config)
+                for _ in range(self.repeats)
+            ]
+            return aggregate_measurements(runs, how=self.aggregate)
 
     def __call__(self, config: Configuration):
         """Evaluator: returns (metrics dict, cost)."""
@@ -142,6 +144,11 @@ class BenchmarkRunner:
                 self.total_benchmark_seconds += paid
                 self._count("aborts")
                 self._count("seconds", paid)
+                emit_event(
+                    "benchmark.early_abort", severity="info", message=str(abort),
+                    workload=self.workload.name, paid_cost=float(paid),
+                    true_value=float(value),
+                )
                 if self.trace is not None:
                     self.trace.gauge("benchmark.seconds_saved", self.early_abort.saved_cost)
                 raise

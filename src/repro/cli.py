@@ -7,17 +7,26 @@ need a Python file:
 * ``compare``    — race several optimizers on the same target
 * ``importance`` — rank knob importance from a quick random-search history
 * ``game``       — play one autotuner round of the Spark tuning game
+* ``trace``      — analyze a trace written by ``tune``/``compare --trace-out``
+
+``tune`` and ``compare`` accept ``--trace-out FILE`` (full session trace:
+trial spans with nested operation spans, events, metrics — feed it to
+``repro trace``) and ``--metrics-out FILE`` (metrics registry only;
+``.prom``/``.txt`` → Prometheus text exposition, otherwise JSON).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 from .analysis import LassoImportance, compare_optimizers, format_table
 from .core import Objective, TuningSession
 from .exceptions import ReproError
+from .telemetry import SessionTrace, TelemetryCallback, export_chrome_trace
+from .telemetry.analyzer import format_report, load_trace
 from .optimizers import (
     BayesianOptimizer,
     BestConfigOptimizer,
@@ -95,14 +104,33 @@ def _make_optimizer(name: str, space, seed: int, objective: Objective):
 
 # -- commands -----------------------------------------------------------------
 
+def _summary_line(trace: SessionTrace) -> str:
+    """One-line session digest printed after ``tune``/``compare``."""
+    s = trace.summary()
+    best = s.get("best_value")
+    best_txt = f"{best:.6g}" if isinstance(best, float) else "n/a"
+    return (
+        f"telemetry: {s['trials']} trials, best={best_txt}, "
+        f"p95 trial={s['p95_trial_s'] * 1e3:.1f}ms, "
+        f"p95 suggest={s['p95_suggest_s'] * 1e3:.1f}ms, "
+        f"{s['events']} events"
+    )
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     system = _make_system(args.system, args.seed, args.noise)
     workload = _make_workload(args.system, args.workload)
     objective = _objective_for(args.system, args.metric)
     default = system.run(workload, config=system.space.default_configuration()).metric(args.metric)
     optimizer = _make_optimizer(args.optimizer, system.space, args.seed, objective)
+    telemetry = TelemetryCallback(
+        export_path=args.trace_out,
+        metrics_path=args.metrics_out,
+        span_attributes={"optimizer": args.optimizer, "seed": args.seed},
+    )
     result = TuningSession(
-        optimizer, system.evaluator(workload, args.metric), max_trials=args.trials
+        optimizer, system.evaluator(workload, args.metric), max_trials=args.trials,
+        callbacks=[telemetry],
     ).run()
     print(format_table(
         ["", args.metric],
@@ -112,6 +140,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     print("\nbest configuration:")
     for name in system.space.names:
         print(f"  {name} = {result.best_config[name]}")
+    print("\n" + _summary_line(telemetry.trace))
+    if args.trace_out:
+        print(f"trace written to {args.trace_out} (analyze with: repro trace {args.trace_out})")
     return 0
 
 
@@ -132,13 +163,57 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             return _make_optimizer(_name, space, seed, objective)
 
         factories[name] = factory
-    results = compare_optimizers(factories, evaluator_factory, max_trials=args.trials, n_seeds=args.seeds)
+
+    # One trace per (optimizer, seed) leg; exported together as a bundle
+    # that ``repro trace`` understands.
+    runs: list[tuple[str, int, SessionTrace]] = []
+
+    def callbacks_factory(name, seed):
+        trace = SessionTrace(name=f"{name}/seed{seed}")
+        runs.append((name, seed, trace))
+        return [TelemetryCallback(trace=trace, span_attributes={"optimizer": name, "seed": seed})]
+
+    results = compare_optimizers(
+        factories, evaluator_factory, max_trials=args.trials, n_seeds=args.seeds,
+        callbacks_factory=callbacks_factory,
+    )
     rows = [(name, comp.mean_best()) for name, comp in results.items()]
     print(format_table(
         ["optimizer", f"mean best {args.metric}"],
         rows,
         title=f"compare on {args.system}/{args.workload}, {args.trials} trials x {args.seeds} seeds",
     ))
+    for name, seed, trace in runs:
+        print(f"  {name}/seed{seed}: " + _summary_line(trace))
+    if args.trace_out:
+        bundle = {
+            "kind": "compare",
+            "runs": [
+                {"optimizer": name, "seed": seed, "trace": trace.to_dict()}
+                for name, seed, trace in runs
+            ],
+        }
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            json.dump(bundle, fh, indent=2, default=str)
+        print(f"trace bundle written to {args.trace_out} (analyze with: repro trace {args.trace_out})")
+    if args.metrics_out:
+        merged = SessionTrace(name="compare").metrics
+        for _, _, trace in runs:
+            merged.merge(trace.metrics)
+        merged.write(args.metrics_out)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    data = load_trace(args.file)
+    print(format_report(data, top=args.top, show_events=args.events))
+    if args.chrome:
+        if "runs" in data and "spans" not in data:
+            raise ReproError(
+                "--chrome needs a single-session trace; compare bundles hold several"
+            )
+        export_chrome_trace(data, args.chrome)
+        print(f"\nchrome trace written to {args.chrome} (open in ui.perfetto.dev)")
     return 0
 
 
@@ -147,8 +222,13 @@ def _cmd_importance(args: argparse.Namespace) -> int:
     workload = _make_workload(args.system, args.workload)
     objective = _objective_for(args.system, args.metric)
     optimizer = RandomSearchOptimizer(system.space, objective, seed=args.seed)
+    telemetry = TelemetryCallback(
+        export_path=args.trace_out, metrics_path=args.metrics_out,
+        span_attributes={"optimizer": "random", "seed": args.seed},
+    )
     TuningSession(
-        optimizer, system.evaluator(workload, args.metric), max_trials=args.trials
+        optimizer, system.evaluator(workload, args.metric), max_trials=args.trials,
+        callbacks=[telemetry],
     ).run()
     ranking = LassoImportance(system.space).rank(optimizer.history)
     rows = [(i + 1, k, s) for i, (k, s) in enumerate(zip(ranking.knobs, ranking.scores))]
@@ -195,6 +275,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trials", type=int, default=30)
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--noise", type=float, default=0.03)
+        p.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write the full session trace (JSON) here")
+        p.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write metrics here (.prom/.txt = Prometheus text, else JSON)")
 
     p = sub.add_parser("tune", help="offline-tune one system")
     common(p)
@@ -212,6 +296,14 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(func=_cmd_importance)
+
+    p = sub.add_parser("trace", help="analyze a trace file written by --trace-out")
+    p.add_argument("file", help="trace JSON (single session or compare bundle)")
+    p.add_argument("--top", type=int, default=5, help="slowest trials to list")
+    p.add_argument("--events", action="store_true", help="print the full event log")
+    p.add_argument("--chrome", default=None, metavar="OUT",
+                   help="also convert to Chrome trace-event JSON (Perfetto)")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("game", help="play the Spark tuning game")
     p.add_argument("--optimizer", choices=sorted(_OPTIMIZERS), default="bo")

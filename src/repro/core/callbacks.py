@@ -5,11 +5,13 @@ Hook ordering
 For every batch the :class:`~repro.core.session.TuningSession` dispatches,
 hooks fire in this order (telemetry and retry logic rely on it):
 
-1. ``should_stop(session)`` — polled before each batch; any ``True`` ends
+1. ``on_session_start(session)`` — exactly once, before the first batch
+   (telemetry activates its trace here).
+2. ``should_stop(session)`` — polled before each batch; any ``True`` ends
    the session.
-2. ``on_trial_start(session, trial_index)`` — once per trial in the batch,
+3. ``on_trial_start(session, trial_index)`` — once per trial in the batch,
    in dispatch order, *before* any trial of the batch executes.
-3. Per trial, in **completion order** (= dispatch order for the serial
+4. Per trial, in **completion order** (= dispatch order for the serial
    executor, arbitrary for pool executors):
 
    a. ``on_trial_error(session, trial, exc)`` — only for trials that ended
@@ -18,9 +20,9 @@ hooks fire in this order (telemetry and retry logic rely on it):
       ``None`` (e.g. a timeout detected post-hoc).
    b. ``on_trial_end(session, trial)`` — every trial, success or failure.
 
-4. ``on_batch_end(session, trials)`` — once per batch, after every
+5. ``on_batch_end(session, trials)`` — once per batch, after every
    ``on_trial_end`` of the batch, with the trials in completion order.
-5. ``on_session_end(session)`` — exactly once, after the final batch.
+6. ``on_session_end(session)`` — exactly once, after the final batch.
 
 All hooks are no-ops on the base class, so subclasses override only what
 they need — no subclass hacks required to see errors or batch boundaries.
@@ -48,6 +50,9 @@ class Callback:
 
     See the module docstring for the guaranteed hook ordering.
     """
+
+    def on_session_start(self, session: "TuningSession") -> None:
+        """Called once when the session's run loop begins, before any trial."""
 
     def on_trial_start(self, session: "TuningSession", trial_index: int) -> None:
         """Called before each trial is evaluated (per batch, in dispatch order)."""

@@ -17,10 +17,12 @@ executor backend.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from ..exceptions import OptimizerError
 from ..space import Configuration
+from ..telemetry.spans import span, trial_scope
 from .callbacks import Callback
 from .evaluation import coerce_evaluation
 from .optimizer import Optimizer, Trial
@@ -120,34 +122,43 @@ class TuningSession:
     def run(self) -> TuningResult:
         """Run to budget exhaustion and return the result."""
         executor = self._make_executor()
+        for cb in self.callbacks:
+            cb.on_session_start(self)
         n_done = len(self.optimizer.history)
         while self._budget_left(n_done):
             want = min(self.batch_size, self.max_trials - n_done)
-            t0 = time.perf_counter()
-            configs = self.optimizer.suggest(want)
-            self.last_suggest_latency_s = time.perf_counter() - t0
-            per_trial_suggest_s = self.last_suggest_latency_s / max(1, len(configs))
-            for i in range(len(configs)):
-                for cb in self.callbacks:
-                    cb.on_trial_start(self, n_done + i)
-            batch: list[Trial] = []
-            results = executor.map(self.evaluator, configs)
-            try:
-                for execution in results:
-                    trial = self._observe_execution(execution, per_trial_suggest_s)
-                    n_done += 1
-                    batch.append(trial)
-                    if not trial.ok:
-                        for cb in self.callbacks:
-                            cb.on_trial_error(self, trial, execution.result.exception)
+            # For single-trial batches the whole iteration (suggest +
+            # execute) belongs to one trial: open a trial scope so optimizer
+            # spans (surrogate.fit, acquisition.optimize) attach to it. With
+            # want > 1 the suggest serves several trials and stays at the
+            # session level; each executor task opens its own scope.
+            with (trial_scope() if want == 1 else nullcontext()):
+                t0 = time.perf_counter()
+                with span("optimizer.suggest", n=want):
+                    configs = self.optimizer.suggest(want)
+                self.last_suggest_latency_s = time.perf_counter() - t0
+                per_trial_suggest_s = self.last_suggest_latency_s / max(1, len(configs))
+                for i in range(len(configs)):
                     for cb in self.callbacks:
-                        cb.on_trial_end(self, trial)
-                    if not self._budget_left(n_done):
-                        break  # lazy executors skip the unevaluated remainder
-            finally:
-                close = getattr(results, "close", None)
-                if close is not None:
-                    close()
+                        cb.on_trial_start(self, n_done + i)
+                batch: list[Trial] = []
+                results = executor.map(self.evaluator, configs)
+                try:
+                    for execution in results:
+                        trial = self._observe_execution(execution, per_trial_suggest_s)
+                        n_done += 1
+                        batch.append(trial)
+                        if not trial.ok:
+                            for cb in self.callbacks:
+                                cb.on_trial_error(self, trial, execution.result.exception)
+                        for cb in self.callbacks:
+                            cb.on_trial_end(self, trial)
+                        if not self._budget_left(n_done):
+                            break  # lazy executors skip the unevaluated remainder
+                finally:
+                    close = getattr(results, "close", None)
+                    if close is not None:
+                        close()
             for cb in self.callbacks:
                 cb.on_batch_end(self, batch)
         for cb in self.callbacks:
@@ -163,17 +174,30 @@ class TuningSession:
         context["evaluate_s"] = execution.wall_clock_s
         context["suggest_latency_s"] = suggest_latency_s
         context.setdefault("outcome", result.outcome)
+        if execution.queue_s:
+            context["queue_s"] = execution.queue_s
+        if execution.attempts:
+            context["attempts"] = list(execution.attempts)
+        if execution.attempt_s:
+            context["attempt_s"] = [round(a, 6) for a in execution.attempt_s]
         if result.ok:
-            return self.optimizer.observe(
+            trial = self.optimizer.observe(
                 execution.config,
                 result.metrics,
                 cost=result.cost,
                 status=result.status,
                 context=context,
             )
-        return self.optimizer.observe_failure(
-            execution.config, cost=result.cost, status=result.status, context=context
-        )
+        else:
+            trial = self.optimizer.observe_failure(
+                execution.config, cost=result.cost, status=result.status, context=context
+            )
+        # The trial id exists only now: bind it onto the telemetry ref that
+        # the executor's spans were recorded against, so the trace can
+        # attribute them. (None for process pools — spans didn't cross.)
+        if execution.span_ref is not None:
+            execution.span_ref.trial_id = trial.trial_id
+        return trial
 
     def result(self) -> TuningResult:
         """Snapshot the current result (valid mid-run as well)."""

@@ -24,21 +24,36 @@ deadline — the trial is recorded as ``FAILED`` with ``outcome="timeout"``
 and a :class:`TimeoutError` exception, and the optimizer imputes it like a
 crash. (Python threads cannot be killed; the abandoned evaluation may keep
 running in the background until it returns.)
+
+Observability: every execution is decomposed in time — **queue wait**
+(submit → first attempt; pool backpressure), **attempts** (each evaluation
+try, individually timed), and **backoff sleeps** between retries — instead
+of one folded wall-clock number. When a telemetry trace is active
+(:mod:`repro.telemetry.spans`), the decomposition is also emitted as
+nested ``executor.run`` / ``executor.attempt`` / ``executor.backoff``
+spans attached to the right trial, and retries/timeouts become structured
+events. :class:`ThreadedExecutor` copies the submitting context into each
+worker task so spans land on the correct trial even though pool threads
+are reused; process pools cannot carry the context across the pickle
+boundary, so child processes degrade to the flat numbers (still recorded,
+via :class:`TrialExecution`).
 """
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from abc import ABC, abstractmethod
 from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent import futures as _futures
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from ..core.evaluation import EvaluationResult, run_evaluation
 from ..core.optimizer import TrialStatus
 from ..exceptions import ReproError, SystemCrashError
+from ..telemetry.spans import emit_event, span, trial_scope
 from ..space import Configuration
 
 __all__ = [
@@ -87,7 +102,14 @@ class RetryPolicy:
 
 @dataclass
 class TrialExecution:
-    """One executed trial: the result plus execution-side instrumentation."""
+    """One executed trial: the result plus execution-side instrumentation.
+
+    ``wall_clock_s`` is the full attempt-loop wall-clock (attempts plus
+    backoff sleeps, *excluding* queue wait) — the historic number. The
+    decomposition lives beside it: ``queue_s`` (submit → execution start),
+    ``attempt_s`` (per-attempt evaluation durations, parallel to
+    ``attempts``), and ``backoff_s`` (total retry sleep).
+    """
 
     index: int  # position within the dispatched batch
     config: Configuration
@@ -95,6 +117,10 @@ class TrialExecution:
     retries: int = 0
     wall_clock_s: float = 0.0
     attempts: list[str] = field(default_factory=list)  # outcome tag per attempt
+    queue_s: float = 0.0
+    attempt_s: list[float] = field(default_factory=list)  # duration per attempt
+    backoff_s: float = 0.0
+    span_ref: Any = None  # telemetry TrialRef; bound to the trial id on observe
 
 
 def _call_with_timeout(evaluator: Evaluator, config: Configuration, timeout_s: float | None) -> EvaluationResult:
@@ -102,9 +128,12 @@ def _call_with_timeout(evaluator: Evaluator, config: Configuration, timeout_s: f
     if timeout_s is None:
         return run_evaluation(evaluator, config)
     box: dict[str, EvaluationResult] = {}
+    # The watchdog thread would otherwise start from a bare context: copy
+    # ours so evaluator-side spans still attach to the active trace/trial.
+    ctx = contextvars.copy_context()
 
     def target() -> None:
-        box["result"] = run_evaluation(evaluator, config)
+        box["result"] = ctx.run(run_evaluation, evaluator, config)
 
     worker = threading.Thread(target=target, daemon=True, name="repro-trial-eval")
     worker.start()
@@ -128,21 +157,53 @@ def execute_trial(
     retry: RetryPolicy | None = None,
     sleep: Callable[[float], None] = time.sleep,
     clock: Callable[[], float] = time.monotonic,
+    submitted_s: float | None = None,
 ) -> TrialExecution:
     """Run one trial to completion: attempt, retry with backoff, instrument.
 
+    ``submitted_s`` (same clock) marks when the trial was handed to the
+    executor; the gap to execution start is reported as ``queue_s``.
     Module-level (not a method) so :class:`ProcessExecutor` can pickle it.
     """
     start = clock()
+    queue_s = max(0.0, start - submitted_s) if submitted_s is not None else 0.0
     retries = 0
     attempts: list[str] = []
-    while True:
-        result = _call_with_timeout(evaluator, config, timeout_s)
-        attempts.append(result.outcome)
-        if retry is None or not retry.should_retry(result, retries):
-            break
-        sleep(retry.delay(retries))
-        retries += 1
+    attempt_s: list[float] = []
+    backoff_total = 0.0
+    with trial_scope() as ref:
+        with span("executor.run", index=index) as op:
+            if op is not None and queue_s:
+                op.set(queue_s=queue_s)
+            while True:
+                t_attempt = clock()
+                with span("executor.attempt", attempt=len(attempts)) as attempt_op:
+                    result = _call_with_timeout(evaluator, config, timeout_s)
+                    if attempt_op is not None:
+                        attempt_op.set(outcome=result.outcome)
+                attempt_s.append(clock() - t_attempt)
+                attempts.append(result.outcome)
+                if result.outcome == "timeout":
+                    emit_event(
+                        "executor.timeout", severity="warning",
+                        message=f"attempt {len(attempts) - 1} exceeded {timeout_s:g}s",
+                        index=index, attempt=len(attempts) - 1, timeout_s=timeout_s,
+                    )
+                if retry is None or not retry.should_retry(result, retries):
+                    break
+                delay = retry.delay(retries)
+                emit_event(
+                    "executor.retry", severity="warning",
+                    message=f"retrying after {result.outcome} (attempt {len(attempts) - 1})",
+                    index=index, attempt=len(attempts) - 1, outcome=result.outcome, backoff_s=delay,
+                )
+                if delay > 0:
+                    with span("executor.backoff", delay_s=delay):
+                        sleep(delay)
+                else:
+                    sleep(delay)
+                backoff_total += delay
+                retries += 1
     if retries:
         result.metadata.setdefault("retries", retries)
     return TrialExecution(
@@ -152,6 +213,10 @@ def execute_trial(
         retries=retries,
         wall_clock_s=clock() - start,
         attempts=attempts,
+        queue_s=queue_s,
+        attempt_s=attempt_s,
+        backoff_s=backoff_total,
+        span_ref=ref,
     )
 
 
@@ -200,7 +265,9 @@ class SerialExecutor(TrialExecutor):
 
     def map(self, evaluator: Evaluator, configs: Sequence[Configuration]) -> Iterator[TrialExecution]:
         for i, config in enumerate(configs):
-            yield execute_trial(evaluator, config, i, self.timeout_s, self.retry)
+            yield execute_trial(
+                evaluator, config, i, self.timeout_s, self.retry, submitted_s=time.monotonic()
+            )
 
 
 class _PoolExecutor(TrialExecutor):
@@ -227,11 +294,16 @@ class _PoolExecutor(TrialExecutor):
             self._pool = self._make_pool()
         return self._pool
 
+    def _submit(self, pool: _futures.Executor, evaluator: Evaluator, config: Configuration, index: int) -> Future:
+        return pool.submit(
+            execute_trial, evaluator, config, index, self.timeout_s, self.retry,
+            time.sleep, time.monotonic, time.monotonic(),
+        )
+
     def map(self, evaluator: Evaluator, configs: Sequence[Configuration]) -> Iterator[TrialExecution]:
         pool = self._ensure_pool()
         pending: set[Future] = {
-            pool.submit(execute_trial, evaluator, config, i, self.timeout_s, self.retry)
-            for i, config in enumerate(configs)
+            self._submit(pool, evaluator, config, i) for i, config in enumerate(configs)
         }
         try:
             while pending:
@@ -256,6 +328,16 @@ class ThreadedExecutor(_PoolExecutor):
     which is exactly what system benchmarks do.
     """
 
+    def _submit(self, pool: _futures.Executor, evaluator: Evaluator, config: Configuration, index: int) -> Future:
+        # Propagate the submitter's context (active telemetry trace, trial
+        # scope) into the reused worker thread, so nested spans opened while
+        # evaluating attach to the right trial.
+        ctx = contextvars.copy_context()
+        return pool.submit(
+            ctx.run, execute_trial, evaluator, config, index, self.timeout_s, self.retry,
+            time.sleep, time.monotonic, time.monotonic(),
+        )
+
     def _make_pool(self) -> _futures.Executor:
         return _futures.ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="repro-trial"
@@ -267,6 +349,8 @@ class ProcessExecutor(_PoolExecutor):
 
     The evaluator and configurations cross a pickle boundary: closures and
     lambdas won't work — use module-level callables or callable objects.
+    Telemetry context does not cross it either: child processes contribute
+    the flat :class:`TrialExecution` numbers but no nested spans.
     """
 
     def _make_pool(self) -> _futures.Executor:

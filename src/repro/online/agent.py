@@ -20,6 +20,7 @@ import numpy as np
 
 from ..core import Objective
 from ..exceptions import ReproError, SystemCrashError
+from ..telemetry.spans import emit_event, span, trial_scope
 from ..space import Configuration
 from ..sysim.system import SimulatedSystem
 from ..workloads import WorkloadTrace
@@ -173,42 +174,62 @@ class OnlineTuningAgent:
         return reward
 
     def run(self, trace: WorkloadTrace) -> OnlineResult:
+        from contextlib import nullcontext
+
         result = OnlineResult()
-        for step in range(len(trace)):
-            workload = trace.at(step)
-            obs = self._observe(workload, self._last_metrics)
-            step_started = time.perf_counter()
-            config = self.policy.propose(obs)
-            propose_s = time.perf_counter() - step_started
-            crashed = rolled_back = False
-            try:
-                measurement = self.system.run(workload, duration_s=self.duration_s, config=config)
-                value = measurement.metric(self.objective.name)
-                self._last_metrics = measurement.metrics()
-            except SystemCrashError:
-                crashed = True
-                # Production pain: a crash step delivers the worst value seen.
-                prior = [r.value for r in result.records if not r.crashed]
-                value = (
-                    max(prior) if self.objective.minimize else min(prior)
-                ) if prior else (1e6 if self.objective.minimize else 0.0)
-                self.system.apply(self._safe_config)
-            # A crash gets a flat, strongly negative reward: the policy must
-            # learn the region is off-limits regardless of the metric scale.
-            reward = -2.0 if crashed else self._reward(value)
-            if self.guardrail is not None and not crashed:
-                verdict = self.guardrail.check(self.objective.score(value))
-                if verdict.violated:
-                    self.system.apply(self._safe_config)
-                    rolled_back = True
-                    reward -= verdict.penalty
-                elif verdict.is_safe_point:
-                    self._safe_config = config
-            self.policy.feedback(obs, config, reward)
-            self._record_span(step, workload.name, value, reward, propose_s, step_started, crashed, rolled_back)
-            result.records.append(
-                OnlineStepRecord(step, workload.name, config, float(value), float(reward), crashed, rolled_back)
-            )
+        # Activate the attached telemetry trace (if any) so policy/system
+        # spans and guardrail/crash events land in it, scoped per step.
+        activation = self.trace.activated() if hasattr(self.trace, "activated") else nullcontext()
+        with activation:
+            for step in range(len(trace)):
+                with trial_scope() as ref:
+                    if ref is not None:
+                        ref.trial_id = step  # online steps have stable ids up front
+                    workload = trace.at(step)
+                    obs = self._observe(workload, self._last_metrics)
+                    step_started = time.perf_counter()
+                    with span("policy.propose"):
+                        config = self.policy.propose(obs)
+                    propose_s = time.perf_counter() - step_started
+                    crashed = rolled_back = False
+                    try:
+                        with span("system.run", workload=workload.name):
+                            measurement = self.system.run(workload, duration_s=self.duration_s, config=config)
+                        value = measurement.metric(self.objective.name)
+                        self._last_metrics = measurement.metrics()
+                    except SystemCrashError as exc:
+                        crashed = True
+                        emit_event(
+                            "agent.crash", severity="error", message=str(exc),
+                            step=step, workload=workload.name,
+                        )
+                        # Production pain: a crash step delivers the worst value seen.
+                        prior = [r.value for r in result.records if not r.crashed]
+                        value = (
+                            max(prior) if self.objective.minimize else min(prior)
+                        ) if prior else (1e6 if self.objective.minimize else 0.0)
+                        self.system.apply(self._safe_config)
+                    # A crash gets a flat, strongly negative reward: the policy must
+                    # learn the region is off-limits regardless of the metric scale.
+                    reward = -2.0 if crashed else self._reward(value)
+                    if self.guardrail is not None and not crashed:
+                        verdict = self.guardrail.check(self.objective.score(value))
+                        if verdict.violated:
+                            self.system.apply(self._safe_config)
+                            rolled_back = True
+                            reward -= verdict.penalty
+                            emit_event(
+                                "agent.rollback", severity="warning",
+                                message="guardrail violation: reverted to last safe configuration",
+                                step=step, workload=workload.name, value=float(value),
+                            )
+                        elif verdict.is_safe_point:
+                            self._safe_config = config
+                    self.policy.feedback(obs, config, reward)
+                    self._record_span(step, workload.name, value, reward, propose_s, step_started, crashed, rolled_back)
+                    result.records.append(
+                        OnlineStepRecord(step, workload.name, config, float(value), float(reward), crashed, rolled_back)
+                    )
         if self.trace is not None:
             self.trace.gauge("steps.total", float(len(result.records)))
         return result
@@ -230,22 +251,28 @@ class OnlineTuningAgent:
         from ..telemetry import TrialSpan  # deferred: online must not hard-depend on telemetry
 
         now = self.trace.clock()
+        step_s = time.perf_counter() - step_started
         outcome = "crash" if crashed else ("rollback" if rolled_back else "success")
-        self.trace.add_span(
-            TrialSpan(
-                trial_id=step,
-                status="failed" if crashed else "succeeded",
-                outcome=outcome,
-                started_s=now - (time.perf_counter() - step_started),
-                ended_s=now,
-                suggest_latency_s=propose_s,
-                evaluate_s=time.perf_counter() - step_started - propose_s,
-                cost=self.duration_s,
-                attributes={"workload": workload_name, "value": float(value), "reward": float(reward)},
-            )
+        record = TrialSpan(
+            trial_id=step,
+            status="failed" if crashed else "succeeded",
+            outcome=outcome,
+            started_s=now - step_s,
+            ended_s=now,
+            suggest_latency_s=propose_s,
+            evaluate_s=step_s - propose_s,
+            cost=self.duration_s,
+            attributes={"workload": workload_name, "value": float(value), "reward": float(reward)},
         )
+        record.ended_at = time.time()
+        record.started_at = record.ended_at - step_s
+        self.trace.add_span(record)
         self.trace.incr("steps.total")
         if crashed:
             self.trace.incr("steps.crashes")
         if rolled_back:
             self.trace.incr("steps.rollbacks")
+        observe = getattr(self.trace, "observe", None)
+        if observe is not None:
+            observe("step.seconds", step_s)
+            observe("propose.seconds", propose_s)

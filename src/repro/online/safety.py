@@ -19,6 +19,7 @@ import numpy as np
 
 from ..exceptions import OptimizerError
 from ..optimizers.bo import BayesianOptimizer
+from ..telemetry.spans import emit_event, span
 from ..space import Configuration
 
 __all__ = ["Guardrail", "GuardrailVerdict", "SafeBayesianOptimizer"]
@@ -71,6 +72,11 @@ class Guardrail:
         band = abs(baseline) * self.tolerance
         if score > baseline + band:
             self.violations += 1
+            emit_event(
+                "guardrail.violation", severity="warning",
+                message=f"score {score:.6g} exceeded baseline {baseline:.6g} by > {self.tolerance:.0%}",
+                score=float(score), baseline=baseline, tolerance=self.tolerance,
+            )
             return GuardrailVerdict(violated=True, is_safe_point=False, penalty=self.penalty)
         return GuardrailVerdict(violated=False, is_safe_point=score <= baseline)
 
@@ -127,15 +133,18 @@ class SafeBayesianOptimizer(BayesianOptimizer):
         self._ensure_model()
         if not self.model.is_fitted:
             return self.space.sample(self.rng)
-        cands = self._candidates()
-        X = self.encoder.encode_many(cands)
-        mean, std = self.model.predict(X, return_std=True)
-        best_score = float(self.history.scores().min())
-        limit = best_score + abs(best_score) * self.safety_tolerance
-        safe = (mean + self.kappa * std) <= limit
-        if not safe.any():
-            # Nothing provably safe: stay on the incumbent.
-            return self.history.best().config
-        scores = self.acquisition(mean, std, best_score)
-        scores = np.where(safe, scores, -np.inf)
-        return cands[int(np.argmax(scores))]
+        with span("acquisition.optimize", n_candidates=self.n_candidates, safe=True) as op:
+            cands = self._candidates()
+            X = self.encoder.encode_many(cands)
+            mean, std = self.model.predict(X, return_std=True)
+            best_score = float(self.history.scores().min())
+            limit = best_score + abs(best_score) * self.safety_tolerance
+            safe = (mean + self.kappa * std) <= limit
+            if op is not None:
+                op.set(n_safe=int(safe.sum()))
+            if not safe.any():
+                # Nothing provably safe: stay on the incumbent.
+                return self.history.best().config
+            scores = self.acquisition(mean, std, best_score)
+            scores = np.where(safe, scores, -np.inf)
+            return cands[int(np.argmax(scores))]

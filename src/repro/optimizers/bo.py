@@ -17,6 +17,7 @@ import numpy as np
 
 from ..core import Objective, Optimizer, Trial
 from ..exceptions import OptimizerError
+from ..telemetry.spans import span
 from ..space import Configuration, ConfigurationSpace
 from ..space.encoding import OneHotEncoder, OrdinalEncoder, SpaceEncoder, TrialEncodingCache
 from .acquisition import AcquisitionFunction, ExpectedImprovement
@@ -102,7 +103,8 @@ class BayesianOptimizer(Optimizer):
         if len(X) == 0:
             return
         self.model.optimize_hypers = (self._fit_count % self.refit_every == 0)
-        self.model.fit(X, y)
+        with span("surrogate.fit", n_observations=len(X), refit_hypers=self.model.optimize_hypers):
+            self.model.fit(X, y)
         self._fit_count += 1
         self._model_stale = False
 
@@ -134,12 +136,13 @@ class BayesianOptimizer(Optimizer):
             self._ensure_model()
         if not self.model.is_fitted:
             return self.space.sample(self.rng)
-        cands = self._candidates()
-        X = self.encoder.encode_many(cands)
-        mean, std = self.model.predict(X, return_std=True)
-        best_score = float(self.history.scores().min())
-        scores = self.acquisition(mean, std, best_score)
-        return cands[int(np.argmax(scores))]
+        with span("acquisition.optimize", n_candidates=self.n_candidates):
+            cands = self._candidates()
+            X = self.encoder.encode_many(cands)
+            mean, std = self.model.predict(X, return_std=True)
+            best_score = float(self.history.scores().min())
+            scores = self.acquisition(mean, std, best_score)
+            return cands[int(np.argmax(scores))]
 
     def suggest(self, n: int = 1) -> list[Configuration]:
         """Batch suggestion with constant-liar fantasies for diversity."""

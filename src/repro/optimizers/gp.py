@@ -33,6 +33,7 @@ import numpy as np
 from scipy import linalg, optimize
 
 from ..exceptions import NotFittedError, OptimizerError
+from ..telemetry.spans import emit_event, span
 from .kernels import ConstantKernel, Kernel, Matern, WhiteKernel
 
 __all__ = ["GaussianProcessRegressor", "SurrogateStats", "default_kernel"]
@@ -257,21 +258,22 @@ class GaussianProcessRegressor:
         return nll, grad
 
     def _optimize_theta(self) -> None:
-        bounds = self.kernel.bounds
-        starts = [self.kernel.theta.copy()]
-        for _ in range(self.n_restarts):
-            starts.append(self.rng.uniform(bounds[:, 0], bounds[:, 1]))
-        best_theta, best_nll = starts[0], np.inf
-        use_jac = self.analytic_gradients
-        fun = self._nll_and_grad if use_jac else self._nll
-        for start in starts:
-            res = optimize.minimize(
-                fun, start, method="L-BFGS-B", bounds=bounds, jac=use_jac,
-                options={"maxiter": 50},
-            )
-            if res.fun < best_nll:
-                best_nll, best_theta = float(res.fun), res.x
-        self.kernel.theta = best_theta
+        with span("gp.hyperopt", n_restarts=self.n_restarts, analytic=self.analytic_gradients):
+            bounds = self.kernel.bounds
+            starts = [self.kernel.theta.copy()]
+            for _ in range(self.n_restarts):
+                starts.append(self.rng.uniform(bounds[:, 0], bounds[:, 1]))
+            best_theta, best_nll = starts[0], np.inf
+            use_jac = self.analytic_gradients
+            fun = self._nll_and_grad if use_jac else self._nll
+            for start in starts:
+                res = optimize.minimize(
+                    fun, start, method="L-BFGS-B", bounds=bounds, jac=use_jac,
+                    options={"maxiter": 50},
+                )
+                if res.fun < best_nll:
+                    best_nll, best_theta = float(res.fun), res.x
+            self.kernel.theta = best_theta
 
     def _recompute(self) -> None:
         t0 = time.perf_counter()
@@ -287,6 +289,11 @@ class GaussianProcessRegressor:
             self._L = linalg.cholesky(K, lower=True)
             self._jitter_escalated = True
             self.stats.jitter_escalations += 1
+            emit_event(
+                "surrogate.jitter_escalation", severity="warning",
+                message="kernel matrix not positive definite; jitter escalated to 1e-4",
+                n_observations=len(self._X),
+            )
         self._alpha = linalg.cho_solve((self._L, True), self._y)
         self._chol_theta = self.kernel.theta.copy()
         self.stats.cholesky_full += 1

@@ -12,6 +12,7 @@ import numpy as np
 
 from ..core import Objective, Optimizer, Trial
 from ..exceptions import OptimizerError
+from ..telemetry.spans import span
 from ..space import Configuration, ConfigurationSpace
 from ..space.encoding import OneHotEncoder, TrialEncodingCache
 from .acquisition import AcquisitionFunction, ExpectedImprovement
@@ -65,7 +66,8 @@ class SMACOptimizer(Optimizer):
         if not trials:
             return
         X = self._encoding_cache.encode_trials(trials)
-        self.model.fit(X, y)
+        with span("surrogate.fit", n_observations=len(X), model="forest"):
+            self.model.fit(X, y)
         self._model_stale = False
 
     def surrogate_stats(self) -> dict[str, float]:
@@ -83,23 +85,24 @@ class SMACOptimizer(Optimizer):
             self._fit_model()
         if not self.model.is_fitted:
             return self.space.sample(self.rng)
-        n_global = int(self.n_candidates * 0.7)
-        try:
-            best = self.history.best().config
-        except OptimizerError:
-            best = None
-        if best is not None and self.n_candidates - n_global < 1:
-            n_global = self.n_candidates - 1  # keep >= 1 local neighbor
-        cands = [self.space.sample(self.rng) for _ in range(n_global)]
-        if best is not None:
-            for _ in range(self.n_candidates - n_global):
-                scale = float(self.rng.choice([0.02, 0.05, 0.15]))
-                cands.append(self.space.neighbor(best, self.rng, scale=scale))
-        X = self.encoder.encode_many(cands)
-        mean, std = self.model.predict(X, return_std=True)
-        best_score = float(self.history.scores().min())
-        scores = self.acquisition(mean, std, best_score)
-        return cands[int(np.argmax(scores))]
+        with span("acquisition.optimize", n_candidates=self.n_candidates):
+            n_global = int(self.n_candidates * 0.7)
+            try:
+                best = self.history.best().config
+            except OptimizerError:
+                best = None
+            if best is not None and self.n_candidates - n_global < 1:
+                n_global = self.n_candidates - 1  # keep >= 1 local neighbor
+            cands = [self.space.sample(self.rng) for _ in range(n_global)]
+            if best is not None:
+                for _ in range(self.n_candidates - n_global):
+                    scale = float(self.rng.choice([0.02, 0.05, 0.15]))
+                    cands.append(self.space.neighbor(best, self.rng, scale=scale))
+            X = self.encoder.encode_many(cands)
+            mean, std = self.model.predict(X, return_std=True)
+            best_score = float(self.history.scores().min())
+            scores = self.acquisition(mean, std, best_score)
+            return cands[int(np.argmax(scores))]
 
     def _on_observe(self, trial: Trial) -> None:
         self._model_stale = True

@@ -1,6 +1,47 @@
-"""Tuner observability: trial spans, session counters/gauges, JSON export."""
+"""Tuner observability: hierarchical spans, metrics, events, trace analysis.
 
-from .callback import TelemetryCallback
+Layers:
+
+* :mod:`~repro.telemetry.spans` — contextvar-backed operation spans
+  (``span``, ``trial_scope``, ``emit_event``) with a strict no-op fast
+  path when no trace is active;
+* :mod:`~repro.telemetry.metrics` — counters/gauges/latency histograms
+  with JSON and Prometheus exposition;
+* :mod:`~repro.telemetry.events` — bounded structured event log;
+* :mod:`~repro.telemetry.tracing` — per-trial :class:`TrialSpan` +
+  :class:`SessionTrace` aggregation and JSON export;
+* :mod:`~repro.telemetry.export` — Chrome trace-event conversion (open in
+  Perfetto);
+* :mod:`~repro.telemetry.analyzer` — offline analysis for ``repro trace``;
+* :mod:`~repro.telemetry.callback` — session wiring.
+
+See ``docs/observability.md`` for the span hierarchy, metric naming
+conventions, event schema, and overhead guarantees.
+"""
+
+from .events import Event, EventLog
+from .metrics import DEFAULT_LATENCY_BUCKETS, Histogram, MetricsRegistry
+from .spans import OpSpan, TrialRef, active_trace, current_op, emit_event, span, trial_scope
 from .tracing import SessionTrace, TrialSpan
+from .export import chrome_trace, export_chrome_trace
+from .callback import TelemetryCallback
 
-__all__ = ["SessionTrace", "TelemetryCallback", "TrialSpan"]
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Event",
+    "EventLog",
+    "Histogram",
+    "MetricsRegistry",
+    "OpSpan",
+    "SessionTrace",
+    "TelemetryCallback",
+    "TrialRef",
+    "TrialSpan",
+    "active_trace",
+    "chrome_trace",
+    "current_op",
+    "emit_event",
+    "export_chrome_trace",
+    "span",
+    "trial_scope",
+]

@@ -4,17 +4,28 @@
 :class:`~repro.core.session.TuningSession` into a
 :class:`~repro.telemetry.tracing.SessionTrace`: exactly one
 :class:`~repro.telemetry.tracing.TrialSpan` per trial (success *or*
-failure), counters for starts/outcomes/errors/retries/batches, and gauges
-for the incumbent. Execution-side instrumentation (evaluate wall-clock,
-retry count, outcome tag, suggest latency) arrives through
-``Trial.context`` — the session records it there when observing executor
-results, so this callback needs no knowledge of which executor ran the
-trial.
+failure), latency histograms (trial / suggest / evaluate / queue seconds,
+so p50/p95/p99 come for free), counters for starts/outcomes/errors/
+retries/batches, and gauges for the incumbent.
+
+On ``on_session_start`` the callback *activates* its trace
+(:mod:`repro.telemetry.spans`), so every instrumented layer below — the
+session's ``optimizer.suggest`` span, the optimizer's ``surrogate.fit``
+and ``acquisition.optimize``, the executor's ``executor.run`` /
+``executor.attempt`` spans and retry/timeout events, the benchmark
+runner's ``benchmark.measure`` — lands in the same trace and is attached
+to the right trial, including across :class:`~repro.execution
+.ThreadedExecutor` worker threads. Execution-side numbers (evaluate
+wall-clock, queue wait, retry count, per-attempt durations, outcome tag,
+suggest latency) additionally arrive through ``Trial.context``, so the
+flat per-trial record stays complete even for process-pool executors
+whose child processes cannot contribute spans.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+import time
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..core.callbacks import Callback
 from ..core.optimizer import Trial
@@ -35,13 +46,35 @@ class TelemetryCallback(Callback):
         Trace to append to; a fresh one is created when omitted.
     export_path:
         When set, the trace is written there as JSON at session end.
+    metrics_path:
+        When set, the metrics registry is written there at session end
+        (Prometheus text for ``.prom``/``.txt``, JSON otherwise).
+    span_attributes:
+        Attributes stamped on every trial span (e.g. ``{"optimizer":
+        "bo", "seed": 3}`` when several runs share one trace).
     """
 
-    def __init__(self, trace: SessionTrace | None = None, export_path: str | None = None) -> None:
+    def __init__(
+        self,
+        trace: SessionTrace | None = None,
+        export_path: str | None = None,
+        metrics_path: str | None = None,
+        span_attributes: Mapping[str, object] | None = None,
+    ) -> None:
         self.trace = trace if trace is not None else SessionTrace()
         self.export_path = export_path
+        self.metrics_path = metrics_path
+        self.span_attributes = dict(span_attributes) if span_attributes else {}
+        self._activation = None
 
     # -- hooks ---------------------------------------------------------------
+    def on_session_start(self, session: "TuningSession") -> None:
+        self.trace.incr("sessions.started")
+        # Activate: nested spans/events from every layer below now land in
+        # this trace for the duration of the run.
+        self._activation = self.trace.activated()
+        self._activation.__enter__()
+
     def on_trial_start(self, session: "TuningSession", trial_index: int) -> None:
         self.trace.incr("trials.started")
 
@@ -54,22 +87,40 @@ class TelemetryCallback(Callback):
         ctx = trial.context
         now = self.trace.clock()
         evaluate_s = float(ctx.get("evaluate_s", 0.0))
+        suggest_s = float(ctx.get("suggest_latency_s", 0.0))
+        queue_s = float(ctx.get("queue_s", 0.0))
         retries = int(ctx.get("retries", 0))
         outcome = str(ctx.get("outcome", "success" if trial.ok else trial.status.value))
-        span = self.trace.add_span(
-            TrialSpan(
-                trial_id=trial.trial_id,
-                status=trial.status.value,
-                outcome=outcome,
-                started_s=now - evaluate_s,
-                ended_s=now,
-                suggest_latency_s=float(ctx.get("suggest_latency_s", 0.0)),
-                evaluate_s=evaluate_s,
-                retries=retries,
-                cost=trial.cost,
-                error=ctx.get("error"),
-            )
+        span = TrialSpan(
+            trial_id=trial.trial_id,
+            status=trial.status.value,
+            outcome=outcome,
+            started_s=now - evaluate_s - suggest_s - queue_s,
+            ended_s=now,
+            suggest_latency_s=suggest_s,
+            evaluate_s=evaluate_s,
+            queue_s=queue_s,
+            retries=retries,
+            cost=trial.cost,
+            error=ctx.get("error"),
         )
+        # Tighten the window to the recorded operation spans when they exist
+        # (they share the monotonic clock): the trial span then provably
+        # brackets its children, and nested durations sum to <= the parent.
+        if self.trace.clock is time.monotonic:
+            ops = self.trace.ops_for(trial.trial_id)
+            if ops:
+                span.started_s = min(min(op.t0 for op in ops), span.started_s)
+                span.ended_s = max(max(op.t1 for op in ops), span.started_s)
+        span.ended_at = time.time()
+        span.started_at = span.ended_at - span.duration_s
+        if ctx.get("attempt_s"):
+            span.attributes["attempt_s"] = list(ctx["attempt_s"])
+        if ctx.get("attempts"):
+            span.attributes["attempts"] = list(ctx["attempts"])
+        if self.span_attributes:
+            span.attributes.update(self.span_attributes)
+        self.trace.add_span(span)
         # Surrogate hot-path counters (cholesky_ms, nll_evals, cache hits …):
         # optimizers exposing `surrogate_stats()` get a cumulative snapshot on
         # every span, so traces show where optimizer time goes.
@@ -81,15 +132,20 @@ class TelemetryCallback(Callback):
                 snapshot = None
             if snapshot:
                 span.attributes["surrogate"] = dict(snapshot)
-                for key, value in snapshot.items():
-                    self.trace.gauge(f"surrogate.{key}", float(value))
+                self.trace.metrics.absorb(snapshot, "surrogate")
         self.trace.incr("trials.total")
         self.trace.incr(f"trials.{trial.status.value}")
         if retries:
             self.trace.incr("trials.retries", retries)
-        self.trace.incr("suggest.seconds", float(ctx.get("suggest_latency_s", 0.0)))
+        self.trace.incr("suggest.seconds", suggest_s)
         self.trace.incr("evaluate.seconds", evaluate_s)
         self.trace.incr("cost.total", trial.cost)
+        # Latency distributions: the p50/p95/p99 the CLI summary reports.
+        self.trace.observe("trial.seconds", span.duration_s)
+        self.trace.observe("suggest.seconds", suggest_s)
+        self.trace.observe("evaluate.seconds", evaluate_s)
+        if queue_s:
+            self.trace.observe("queue.seconds", queue_s)
 
     def on_batch_end(self, session: "TuningSession", trials: Sequence[Trial]) -> None:
         self.trace.incr("batches.total")
@@ -102,5 +158,10 @@ class TelemetryCallback(Callback):
         except Exception:
             pass  # every trial failed — there is no incumbent to report
         self.trace.gauge("trials.history", float(len(session.optimizer.history)))
+        if self._activation is not None:
+            self._activation.__exit__(None, None, None)
+            self._activation = None
         if self.export_path is not None:
             self.trace.export(self.export_path)
+        if self.metrics_path is not None:
+            self.trace.metrics.write(self.metrics_path)

@@ -1,0 +1,117 @@
+"""Chrome trace-event export — open tuning runs in Perfetto / chrome://tracing.
+
+Converts a :class:`~repro.telemetry.tracing.SessionTrace` (or its exported
+JSON dict — the converter works offline on saved traces) into the Chrome
+trace-event format: one complete (``ph="X"``) event per trial span and per
+operation span, instant (``ph="i"``) events for the structured event log,
+and metadata records naming the tracks. Each trial gets its own track
+(``tid`` = trial id), so concurrent trials from a thread-pool executor
+render as parallel lanes with their nested operations stacked inside.
+
+Timestamps are microseconds relative to the session's wall-clock start
+(``started_at``), falling back to the monotonic clock for traces saved
+before epoch timestamps existed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+__all__ = ["chrome_trace", "export_chrome_trace"]
+
+_SESSION_TID = 0
+
+
+def _as_dict(trace: Any) -> Mapping[str, Any]:
+    return trace.to_dict() if hasattr(trace, "to_dict") else trace
+
+
+def chrome_trace(trace: Any) -> dict[str, Any]:
+    """Build a Chrome trace-event dict from a trace (object or dict)."""
+    data = _as_dict(trace)
+    wall_base = float(data.get("started_at") or 0.0)
+    mono_base = float(data.get("started_s") or 0.0)
+
+    def us_wall(wall: float | None, mono: float | None) -> int:
+        if wall_base and wall:
+            return max(0, int(round((wall - wall_base) * 1e6)))
+        return max(0, int(round(((mono or 0.0) - mono_base) * 1e6)))
+
+    events: list[dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": _SESSION_TID,
+         "args": {"name": f"repro {data.get('name', 'trace')}"}},
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": _SESSION_TID,
+         "args": {"name": "session"}},
+    ]
+    seen_tids: set[int] = set()
+
+    def op_events(ops: list[dict[str, Any]], tid: int) -> None:
+        for op in ops:
+            events.append({
+                "name": op["name"],
+                "cat": "op",
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": us_wall(op.get("started_at"), op.get("t0_s")),
+                "dur": max(1, int(round(float(op.get("duration_s", 0.0)) * 1e6))),
+                "args": {
+                    "status": op.get("status"),
+                    "thread": op.get("thread"),
+                    "error": op.get("error"),
+                    **(op.get("attributes") or {}),
+                },
+            })
+
+    for span in data.get("spans", ()):
+        tid = int(span.get("trial_id", 0)) + 1  # track per trial; 0 = session
+        if tid not in seen_tids:
+            seen_tids.add(tid)
+            events.append({"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                           "args": {"name": f"trial {span.get('trial_id')}"}})
+        events.append({
+            "name": f"trial[{span.get('trial_id')}] {span.get('outcome', '')}".strip(),
+            "cat": "trial",
+            "ph": "X",
+            "pid": 1,
+            "tid": tid,
+            "ts": us_wall(span.get("started_at"), span.get("started_s")),
+            "dur": max(1, int(round(float(span.get("duration_s", 0.0)) * 1e6))),
+            "args": {
+                "status": span.get("status"),
+                "outcome": span.get("outcome"),
+                "retries": span.get("retries"),
+                "cost": span.get("cost"),
+                "error": span.get("error"),
+                **(span.get("attributes") or {}),
+            },
+        })
+        op_events(span.get("children", ()), tid)
+
+    op_events(list(data.get("ops", ())), _SESSION_TID)
+
+    for event in data.get("events", ()):
+        tid = _SESSION_TID if event.get("trial_id") is None else int(event["trial_id"]) + 1
+        events.append({
+            "name": event.get("kind", "event"),
+            "cat": "event",
+            "ph": "i",
+            "s": "g",  # global scope: draw the marker across all tracks
+            "pid": 1,
+            "tid": tid,
+            "ts": us_wall(event.get("ts"), event.get("t_s")),
+            "args": {
+                "severity": event.get("severity"),
+                "message": event.get("message"),
+                **(event.get("attributes") or {}),
+            },
+        })
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(trace: Any, path: str) -> None:
+    """Write Chrome trace-event JSON to ``path`` (open in ui.perfetto.dev)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(trace), fh, indent=None, default=str)

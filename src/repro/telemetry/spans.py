@@ -1,0 +1,300 @@
+"""Hierarchical operation spans over ``contextvars`` — the tracing core.
+
+The flat per-trial :class:`~repro.telemetry.tracing.TrialSpan` tells you
+*that* a trial took 1.2 s; it cannot tell you whether that was surrogate
+fitting, acquisition maximisation, executor queue wait, or the workload
+run. This module adds the missing dimension: lightweight *operation
+spans*, opened anywhere in the stack with::
+
+    with span("surrogate.fit", n_observations=40):
+        model.fit(X, y)
+
+and recorded into whichever :class:`~repro.telemetry.tracing.SessionTrace`
+is *active* in the current context. Three context variables carry the
+state:
+
+* the **active trace** — set by :meth:`SessionTrace.activated` (the
+  :class:`~repro.telemetry.TelemetryCallback` does this for sessions, the
+  online agent for its runs). With no active trace, :func:`span`,
+  :func:`trial_scope`, and :func:`emit_event` are strict no-ops: one
+  ``ContextVar.get`` plus a ``None`` check, no allocation — cheap enough
+  to leave the instrumentation permanently in hot paths (measured by
+  ``benchmarks/test_e25_observability_overhead.py``).
+* the **current parent span** — nested ``span()`` blocks form a tree via
+  ``parent_id``; exceptions propagate but the span is always closed (with
+  ``status="error"``), so no orphans survive a crash.
+* the **trial reference** — a tiny mutable cell opened by
+  :func:`trial_scope` around everything belonging to one trial. Its
+  ``trial_id`` starts unknown (executors run before the optimizer assigns
+  ids) and is bound once the trial is observed; every span and event
+  recorded inside the scope resolves through it at export time.
+
+Thread-safety: :class:`~repro.execution.ThreadedExecutor` copies the
+submitting context into each worker task (``contextvars.copy_context``),
+so spans opened inside a worker attach to the right trial even though
+pool threads are reused across trials. Process pools cross a pickle
+boundary — spans opened in child processes are silently dropped (the
+context variables are unset there), which degrades to the flat PR-1
+behavior rather than corrupting the tree.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextvars import ContextVar
+from typing import Any, Protocol
+
+__all__ = [
+    "OpSpan",
+    "TrialRef",
+    "span",
+    "trial_scope",
+    "emit_event",
+    "activate",
+    "deactivate",
+    "active_trace",
+    "current_op",
+    "current_trial_ref",
+]
+
+_ids = itertools.count(1)
+
+
+class SpanSink(Protocol):  # pragma: no cover - typing only
+    """What :func:`span`/:func:`emit_event` need from an active trace."""
+
+    def record_op(self, op: "OpSpan") -> None: ...
+
+    def record_event(self, kind: str, severity: str, message: str, ref: "TrialRef | None", attributes: dict) -> None: ...
+
+
+_ACTIVE: ContextVar[SpanSink | None] = ContextVar("repro_active_trace", default=None)
+_PARENT: ContextVar["OpSpan | None"] = ContextVar("repro_current_span", default=None)
+_TRIAL: ContextVar["TrialRef | None"] = ContextVar("repro_trial_ref", default=None)
+
+
+class TrialRef:
+    """Mutable trial-id cell shared by every span/event of one trial.
+
+    Created before the trial id exists (executors see configurations, not
+    trials); the session binds ``trial_id`` when the optimizer records the
+    trial, and exports resolve through the reference afterwards.
+    """
+
+    __slots__ = ("trial_id",)
+
+    def __init__(self) -> None:
+        self.trial_id: int | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TrialRef(trial_id={self.trial_id})"
+
+
+class OpSpan:
+    """One timed operation: name, tree linkage, clocks, and attributes.
+
+    Times are dual-recorded: ``t0``/``t1`` on the monotonic clock (for
+    durations and intra-trace ordering) and ``wall0`` on the epoch clock
+    (so exported traces remain meaningful across sessions and machines).
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "t0", "t1", "wall0", "status", "error", "thread", "attributes", "ref")
+
+    def __init__(self, name: str, parent_id: int | None, ref: TrialRef | None, attributes: dict[str, Any]) -> None:
+        self.name = name
+        self.span_id = next(_ids)
+        self.parent_id = parent_id
+        self.t0 = time.monotonic()
+        self.t1 = self.t0
+        self.wall0 = time.time()
+        self.status = "ok"
+        self.error: str | None = None
+        self.thread = threading.current_thread().name
+        self.attributes = attributes
+        self.ref = ref
+
+    @property
+    def trial_id(self) -> int | None:
+        return self.ref.trial_id if self.ref is not None else None
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.t1 - self.t0)
+
+    def set(self, **attrs: Any) -> "OpSpan":
+        """Attach attributes to a live span; chainable."""
+        self.attributes.update(attrs)
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trial_id": self.trial_id,
+            "t0_s": self.t0,
+            "started_at": self.wall0,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "error": self.error,
+            "thread": self.thread,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OpSpan({self.name!r}, id={self.span_id}, parent={self.parent_id}, trial={self.trial_id})"
+
+
+class _NullSpan:
+    """Shared no-op context manager — the disabled-telemetry fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager recording one :class:`OpSpan` into the active trace."""
+
+    __slots__ = ("_sink", "_name", "_attrs", "_op", "_token")
+
+    def __init__(self, sink: SpanSink, name: str, attrs: dict[str, Any]) -> None:
+        self._sink = sink
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> OpSpan:
+        parent = _PARENT.get()
+        op = OpSpan(
+            self._name,
+            parent_id=parent.span_id if parent is not None else None,
+            ref=_TRIAL.get(),
+            attributes=self._attrs,
+        )
+        self._op = op
+        self._token = _PARENT.set(op)
+        return op
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _PARENT.reset(self._token)
+        op = self._op
+        op.t1 = time.monotonic()
+        if exc_type is not None:
+            op.status = "error"
+            op.error = f"{exc_type.__name__}: {exc}"
+        self._sink.record_op(op)
+        return False
+
+
+def span(name: str, **attributes: Any):
+    """Open a timed operation span; no-op when no trace is active.
+
+    Yields the live :class:`OpSpan` (or ``None`` when inactive), so call
+    sites can attach late attributes with ``op.set(...)`` guarded by
+    ``if op is not None``.
+    """
+    sink = _ACTIVE.get()
+    if sink is None:
+        return _NULL_SPAN
+    return _LiveSpan(sink, name, attributes)
+
+
+class _NullScope:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class _TrialScope:
+    """Establishes (or joins) the trial reference for the current context."""
+
+    __slots__ = ("_ref", "_token")
+
+    def __enter__(self) -> TrialRef:
+        current = _TRIAL.get()
+        if current is not None:
+            # Join the enclosing trial (e.g. the session opened the scope
+            # around suggest + dispatch for a batch of one).
+            self._ref = current
+            self._token = None
+        else:
+            self._ref = TrialRef()
+            self._token = _TRIAL.set(self._ref)
+        return self._ref
+
+    def __exit__(self, *exc_info: object) -> bool:
+        if self._token is not None:
+            _TRIAL.reset(self._token)
+        return False
+
+
+def trial_scope():
+    """Scope spans/events to one trial; joins an enclosing scope if present.
+
+    No-op (yields ``None``) when no trace is active.
+    """
+    if _ACTIVE.get() is None:
+        return _NULL_SCOPE
+    return _TrialScope()
+
+
+def emit_event(kind: str, severity: str = "info", message: str = "", **attributes: Any) -> None:
+    """Record a structured event into the active trace's event log.
+
+    Strict no-op when no trace is active. The event inherits the current
+    trial reference, so per-trial error tables resolve automatically.
+    """
+    sink = _ACTIVE.get()
+    if sink is None:
+        return
+    sink.record_event(kind, severity, message, _TRIAL.get(), attributes)
+
+
+# -- activation ---------------------------------------------------------------
+
+def activate(trace: SpanSink):
+    """Make ``trace`` the span/event sink for the current context.
+
+    Returns a token for :func:`deactivate`. Prefer the managed form
+    :meth:`SessionTrace.activated`.
+    """
+    return _ACTIVE.set(trace)
+
+
+def deactivate(token=None) -> None:
+    """Undo :func:`activate` (with its token) or force-clear the sink."""
+    if token is not None:
+        _ACTIVE.reset(token)
+    else:
+        _ACTIVE.set(None)
+
+
+def active_trace() -> SpanSink | None:
+    """The trace currently receiving spans/events, if any."""
+    return _ACTIVE.get()
+
+
+def current_op() -> OpSpan | None:
+    """The innermost open span in this context, if any."""
+    return _PARENT.get()
+
+
+def current_trial_ref() -> TrialRef | None:
+    """The trial reference of the enclosing :func:`trial_scope`, if any."""
+    return _TRIAL.get()

@@ -1,16 +1,25 @@
-"""Tuning-run observability: per-trial spans, counters/gauges, JSON export.
+"""Tuning-run observability: spans, metrics, events, JSON export.
 
 Taming noisy cloud trials (TUNA) and tuning the tuner itself both start
 from the same prerequisite: *knowing what happened inside every trial*.
 This module gives tuning runs a lightweight, dependency-free trace model
 in the OpenTelemetry spirit:
 
-* :class:`TrialSpan` — one trial (or online step): when it ran, how long
-  the suggest and evaluate phases took, how many retries it burned, and
-  how it ended (``success`` / ``crash`` / ``abort`` / ``censored`` /
-  ``timeout``);
-* :class:`SessionTrace` — the spans plus session-level counters and
-  gauges, exportable as JSON for offline analysis or dashboards.
+* :class:`TrialSpan` — one trial (or online step): when it ran (monotonic
+  *and* wall-clock epoch), how long the suggest and evaluate phases took,
+  how many retries it burned, and how it ended (``success`` / ``crash`` /
+  ``abort`` / ``censored`` / ``timeout``);
+* nested **operation spans** (:mod:`repro.telemetry.spans`) — where the
+  time went *inside* a trial: ``optimizer.suggest``, ``surrogate.fit``,
+  ``acquisition.optimize``, ``executor.run``/``executor.attempt``,
+  ``benchmark.measure`` … recorded into the active trace and attached to
+  their trial at export;
+* :class:`SessionTrace` — spans + a
+  :class:`~repro.telemetry.metrics.MetricsRegistry` (counters, gauges,
+  latency histograms with p50/p95/p99) + a bounded
+  :class:`~repro.telemetry.events.EventLog`, exportable as JSON for the
+  ``repro trace`` analyzer or as Chrome trace-event JSON
+  (:mod:`repro.telemetry.export`) for Perfetto.
 
 Not to be confused with :mod:`repro.sysim.telemetry`, which generates the
 *system* utilisation time series that workload identification embeds; this
@@ -20,25 +29,40 @@ module observes the *tuner*.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Callable
+
+from . import spans as _spans
+from .events import EventLog
+from .metrics import MetricsRegistry
+from .spans import OpSpan, TrialRef
 
 __all__ = ["TrialSpan", "SessionTrace"]
 
 
 @dataclass
 class TrialSpan:
-    """One trial's execution record."""
+    """One trial's execution record — the root of that trial's span tree.
+
+    ``started_s``/``ended_s`` are on the session's (monotonic) clock and
+    give durations; ``started_at``/``ended_at`` are wall-clock epoch
+    seconds so a saved trace can be correlated with other sessions,
+    machines, and system logs.
+    """
 
     trial_id: int
     status: str = "succeeded"
     outcome: str = "success"  # success | crash | abort | censored | timeout
     started_s: float = 0.0
     ended_s: float = 0.0
+    started_at: float = 0.0  # wall-clock epoch
+    ended_at: float = 0.0  # wall-clock epoch
     suggest_latency_s: float = 0.0
     evaluate_s: float = 0.0
+    queue_s: float = 0.0
     retries: int = 0
     cost: float = 0.0
     error: str | None = None
@@ -55,9 +79,12 @@ class TrialSpan:
             "outcome": self.outcome,
             "started_s": self.started_s,
             "ended_s": self.ended_s,
+            "started_at": self.started_at,
+            "ended_at": self.ended_at,
             "duration_s": self.duration_s,
             "suggest_latency_s": self.suggest_latency_s,
             "evaluate_s": self.evaluate_s,
+            "queue_s": self.queue_s,
             "retries": self.retries,
             "cost": self.cost,
             "error": self.error,
@@ -66,38 +93,103 @@ class TrialSpan:
 
 
 class SessionTrace:
-    """Spans + counters + gauges for one tuning run.
+    """Spans + metrics + events for one tuning run.
 
-    Counters accumulate (``incr``), gauges hold the latest value (``gauge``).
-    The trace is deliberately schema-light: anything a callback, runner, or
-    agent wants to record fits in a counter, a gauge, or a span attribute.
+    Counters accumulate (``incr``), gauges hold the latest value
+    (``gauge``), histograms aggregate latencies (``observe``) — all backed
+    by a :class:`MetricsRegistry`; the historic ``trace.counters`` /
+    ``trace.gauges`` dict reads keep working as snapshots. Operation spans
+    and structured events arrive through the context-variable machinery in
+    :mod:`repro.telemetry.spans` while the trace is :meth:`activated`.
     """
 
-    def __init__(self, name: str = "tuning-session", clock: Callable[[], float] = time.monotonic) -> None:
+    def __init__(
+        self,
+        name: str = "tuning-session",
+        clock: Callable[[], float] = time.monotonic,
+        max_ops: int = 100_000,
+        max_events: int = 4096,
+    ) -> None:
         self.name = name
         self.clock = clock
         self.started_s = clock()
+        self.started_at = time.time()  # wall-clock epoch
         self.spans: list[TrialSpan] = []
-        self.counters: dict[str, float] = defaultdict(float)
-        self.gauges: dict[str, float] = {}
+        self.metrics = MetricsRegistry()
+        self.events = EventLog(maxlen=max_events)
+        self.ops: list[OpSpan] = []
+        self.max_ops = int(max_ops)
+        self.ops_dropped = 0
+        self._lock = threading.Lock()
+
+    # -- activation ----------------------------------------------------------
+    def activated(self):
+        """Context manager making this trace the ambient span/event sink."""
+
+        trace = self
+
+        class _Activation:
+            def __enter__(self) -> "SessionTrace":
+                self._token = _spans.activate(trace)
+                return trace
+
+            def __exit__(self, *exc_info: object) -> bool:
+                _spans.deactivate(self._token)
+                return False
+
+        return _Activation()
 
     # -- recording ----------------------------------------------------------
     def add_span(self, span: TrialSpan) -> TrialSpan:
-        self.spans.append(span)
+        with self._lock:
+            self.spans.append(span)
         return span
 
+    def record_op(self, op: OpSpan) -> None:
+        """Sink for :func:`repro.telemetry.spans.span` (bounded)."""
+        with self._lock:
+            if len(self.ops) < self.max_ops:
+                self.ops.append(op)
+            else:
+                self.ops_dropped += 1
+
+    def record_event(
+        self, kind: str, severity: str, message: str, ref: TrialRef | None, attributes: dict
+    ) -> None:
+        """Sink for :func:`repro.telemetry.spans.emit_event`."""
+        self.events.emit(kind, severity=severity, message=message, ref=ref, **attributes)
+        self.metrics.inc(f"events.{kind}")
+
     def incr(self, name: str, value: float = 1.0) -> None:
-        self.counters[name] += value
+        self.metrics.inc(name, value)
 
     def gauge(self, name: str, value: float) -> None:
-        self.gauges[name] = float(value)
+        self.metrics.set_gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
 
     # -- reading ------------------------------------------------------------
+    @property
+    def counters(self) -> dict[str, float]:
+        counters: dict[str, float] = defaultdict(float)
+        counters.update(self.metrics.counters)
+        return counters
+
+    @property
+    def gauges(self) -> dict[str, float]:
+        return self.metrics.gauges
+
     def span_for(self, trial_id: int) -> TrialSpan | None:
         for span in self.spans:
             if span.trial_id == trial_id:
                 return span
         return None
+
+    def ops_for(self, trial_id: int) -> list[OpSpan]:
+        """All operation spans attributed to one trial."""
+        with self._lock:
+            return [op for op in self.ops if op.trial_id == trial_id]
 
     def outcome_counts(self) -> dict[str, int]:
         counts: dict[str, int] = defaultdict(int)
@@ -105,17 +197,46 @@ class SessionTrace:
             counts[span.outcome] += 1
         return dict(counts)
 
+    def summary(self) -> dict[str, Any]:
+        """One-line-able digest: trial count, best value, tail latencies."""
+        return {
+            "trials": len(self.spans),
+            "best_value": self.metrics.gauges.get("best.value"),
+            "p95_trial_s": self.metrics.quantile("trial.seconds", 0.95),
+            "p95_suggest_s": self.metrics.quantile("suggest.seconds", 0.95),
+            "outcomes": self.outcome_counts(),
+            "events": len(self.events),
+        }
+
     # -- export -------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            spans = list(self.spans)
+            ops = list(self.ops)
+        by_trial: dict[int | None, list[dict]] = defaultdict(list)
+        for op in ops:
+            by_trial[op.trial_id].append(op.to_dict())
+        span_dicts = []
+        for span in spans:
+            d = span.to_dict()
+            d["children"] = by_trial.pop(span.trial_id, [])
+            span_dicts.append(d)
+        loose_ops = [d for group in by_trial.values() for d in group]
         return {
             "name": self.name,
             "started_s": self.started_s,
+            "started_at": self.started_at,
             "elapsed_s": self.clock() - self.started_s,
-            "n_spans": len(self.spans),
+            "n_spans": len(spans),
+            "n_ops": len(ops),
+            "ops_dropped": self.ops_dropped,
             "outcomes": self.outcome_counts(),
-            "counters": dict(self.counters),
-            "gauges": dict(self.gauges),
-            "spans": [span.to_dict() for span in self.spans],
+            "counters": self.metrics.counters,
+            "gauges": self.metrics.gauges,
+            "metrics": self.metrics.to_dict(),
+            "spans": span_dicts,
+            "ops": loose_ops,
+            "events": self.events.to_dicts(),
         }
 
     def to_json(self, indent: int | None = None) -> str:
@@ -127,4 +248,4 @@ class SessionTrace:
             fh.write(self.to_json(indent=2))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"SessionTrace({self.name!r}, n_spans={len(self.spans)})"
+        return f"SessionTrace({self.name!r}, n_spans={len(self.spans)}, n_ops={len(self.ops)})"

@@ -17,6 +17,7 @@ from collections import deque
 import numpy as np
 
 from ..exceptions import ReproError
+from ..telemetry.spans import emit_event
 
 __all__ = ["WindowShiftDetector", "PageHinkleyDetector"]
 
@@ -88,6 +89,11 @@ class WindowShiftDetector:
         if z > self.threshold_z:
             self.alarms.append(self._step)
             self._cooldown_left = self.cooldown
+            emit_event(
+                "workload.shift", severity="warning",
+                message=f"window distance z={z:.2f} exceeded threshold {self.threshold_z:g}",
+                detector="window", step=self._step, z=float(z),
+            )
             # Re-reference on the new regime.
             self._reference = list(self._window)
             self._window.clear()
@@ -120,6 +126,12 @@ class PageHinkleyDetector:
             return False
         if self._cum - self._min_cum > self.threshold:
             self.alarms.append(self._n - 1)
+            emit_event(
+                "workload.shift", severity="warning",
+                message=f"Page-Hinkley statistic exceeded threshold {self.threshold:g}",
+                detector="page_hinkley", step=self._n - 1,
+                statistic=float(self._cum - self._min_cum),
+            )
             self._n = 0
             self._mean = 0.0
             self._cum = 0.0
