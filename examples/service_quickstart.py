@@ -1,0 +1,108 @@
+"""Tuning as a service, end to end: boot ``repro serve`` as a real
+subprocess, drive a full tuning session over HTTP, scrape the Prometheus
+endpoint, and shut the server down cleanly.
+
+This is the service analogue of ``quickstart.py``: the client defines a
+knob space, the server hosts the optimizer and journals every trial to a
+durable store — kill the server at any point and a restart resumes the
+session from disk (see docs/service.md and tests/test_service.py for
+that crash drill).
+
+Run:  python examples/service_quickstart.py
+"""
+
+import asyncio
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core.codec import TrialReport
+from repro.service import ServiceClient
+from repro.space import ConfigurationSpace, FloatParameter, IntegerParameter
+from repro.space.serialize import space_to_dict
+
+
+def evaluate(config) -> dict:
+    """The client-side benchmark: any code that scores a configuration."""
+    return {"loss": (config["x"] - 0.3) ** 2 + 0.05 * config["threads"]}
+
+
+async def main() -> int:
+    store = Path(tempfile.mkdtemp(prefix="repro-service-")) / "campaigns"
+
+    # 1. Boot the service exactly as an operator would.
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--store", str(store)],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        # The first line announces the bound address (port 0 = pick free).
+        address = server.stdout.readline().split()[-1]
+        port = int(address.rsplit(":", 1)[1])
+        print(f"server up at {address}, store at {store}")
+        client = ServiceClient("127.0.0.1", port)
+
+        # 2. Create a durable session over a client-defined space.
+        space = ConfigurationSpace("demo", seed=0)
+        space.add(FloatParameter("x", -2.0, 2.0, default=0.0))
+        space.add(IntegerParameter("threads", 1, 16, default=4))
+        await client.create_session(
+            space=space_to_dict(space),
+            optimizer="bo",
+            seed=0,
+            max_trials=20,
+            session_id="quickstart",
+            objectives=[{"name": "loss", "minimize": True}],
+        )
+
+        # 3. The ask/evaluate/tell loop. Deterministic report_ids make
+        #    retries safe: the journal deduplicates, so even a crashing
+        #    server records each trial exactly once.
+        for _ in range(20):
+            (suggestion,) = await client.ask("quickstart", n=1)
+            await client.tell_reliably("quickstart", TrialReport(
+                config=suggestion.config,
+                metrics=evaluate(suggestion.config),
+                ask_id=suggestion.ask_id,
+                report_id=f"quickstart-{suggestion.ask_id}",
+            ))
+
+        status = await client.status("quickstart")
+        assert status["complete"], status
+        print(f"session complete: {status['n_trials']} trials, "
+              f"best loss = {status['best_value']:.4f} at {status['best_config']}")
+
+        # 4. Scrape the per-service Prometheus endpoint.
+        metrics = await client.metrics()
+        wanted = [line for line in metrics.splitlines()
+                  if line.startswith(("repro_service_trials_total",
+                                      "repro_service_requests_total",
+                                      "repro_service_sessions_created"))]
+        print("metrics scrape:")
+        for line in wanted:
+            print(f"  {line}")
+        assert any(line.startswith("repro_service_trials_total 20") for line in wanted), wanted
+
+        # 5. Graceful shutdown: SIGINT, then verify the clean-exit banner.
+        server.send_signal(signal.SIGINT)
+        out, _ = server.communicate(timeout=30)
+        assert "service shut down cleanly" in out, out
+        assert server.returncode == 0, server.returncode
+        print("server exited cleanly")
+
+        # The journal outlives the server — proof the session is durable.
+        journal = store / "quickstart.journal.jsonl"
+        n_lines = len(journal.read_text().splitlines())
+        print(f"durable journal: {journal.name} holds {n_lines} trial records")
+        assert n_lines == 20
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(asyncio.run(main()))

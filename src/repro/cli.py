@@ -8,6 +8,7 @@ need a Python file:
 * ``importance`` — rank knob importance from a quick random-search history
 * ``game``       — play one autotuner round of the Spark tuning game
 * ``trace``      — analyze a trace written by ``tune``/``compare --trace-out``
+* ``serve``      — run the durable multi-session tuning service (HTTP)
 
 ``tune`` and ``compare`` accept ``--trace-out FILE`` (full session trace:
 trial spans with nested operation spans, events, metrics — feed it to
@@ -24,82 +25,36 @@ from typing import Sequence
 
 from .analysis import LassoImportance, compare_optimizers, format_table
 from .core import Objective, TuningSession
+from .core.manager import make_optimizer, optimizer_names
 from .exceptions import ReproError
+from .targets import SYSTEMS as _SYSTEMS
+from .targets import make_system as _targets_make_system
+from .targets import make_workload as _make_workload
+from .targets import objective_for
 from .telemetry import SessionTrace, TelemetryCallback, export_chrome_trace
 from .telemetry.analyzer import format_report, load_trace
-from .optimizers import (
-    BayesianOptimizer,
-    BestConfigOptimizer,
-    CMAESOptimizer,
-    GridSearchOptimizer,
-    ParticleSwarmOptimizer,
-    RandomSearchOptimizer,
-    SimulatedAnnealingOptimizer,
-    SMACOptimizer,
-)
-from .sysim import CloudEnvironment, NginxServer, RedisServer, SimulatedDBMS, SparkCluster, redis_benchmark_workload, web_workload
-from .workloads import tpcc, tpch, ycsb
+from .sysim import CloudEnvironment, SparkCluster
 
 __all__ = ["main", "build_parser"]
 
-_SYSTEMS = ("dbms", "redis", "nginx", "spark")
-_OPTIMIZERS = {
-    "random": lambda space, seed, obj: RandomSearchOptimizer(space, obj, seed=seed),
-    "grid": lambda space, seed, obj: GridSearchOptimizer(
-        space, points_per_dim=4, shuffle=True, objectives=obj, seed=seed
-    ),
-    "bo": lambda space, seed, obj: BayesianOptimizer(space, objectives=obj, seed=seed, n_candidates=192),
-    "smac": lambda space, seed, obj: SMACOptimizer(space, objectives=obj, seed=seed, n_candidates=192),
-    "anneal": lambda space, seed, obj: SimulatedAnnealingOptimizer(space, objectives=obj, seed=seed),
-    "cmaes": lambda space, seed, obj: CMAESOptimizer(space, objectives=obj, seed=seed),
-    "pso": lambda space, seed, obj: ParticleSwarmOptimizer(space, objectives=obj, seed=seed),
-    "bestconfig": lambda space, seed, obj: BestConfigOptimizer(space, objectives=obj, seed=seed),
+#: Options the CLI bakes into its optimizer specs (matching historic behavior).
+_OPTIMIZER_OPTIONS = {
+    "grid": {"points_per_dim": 4, "shuffle": True},
+    "bo": {"n_candidates": 192},
+    "smac": {"n_candidates": 192},
 }
 
 
 def _make_system(name: str, seed: int, noise: float):
-    env = CloudEnvironment(seed=seed, transient_noise=noise)
-    if name == "dbms":
-        return SimulatedDBMS(env=env, seed=seed)
-    if name == "redis":
-        return RedisServer(env=env, seed=seed)
-    if name == "nginx":
-        return NginxServer(env=env, seed=seed)
-    if name == "spark":
-        return SparkCluster(n_nodes=10, env=env, seed=seed)
-    raise ReproError(f"unknown system {name!r}; choose from {_SYSTEMS}")
-
-
-def _make_workload(system: str, name: str):
-    if name.startswith("ycsb"):
-        return ycsb(name.removeprefix("ycsb-") or "a")
-    if name.startswith("tpcc"):
-        part = name.removeprefix("tpcc").lstrip("-")
-        return tpcc(int(part) if part else 100)
-    if name.startswith("tpch"):
-        part = name.removeprefix("tpch").lstrip("-")
-        return tpch(float(part) if part else 10.0)
-    if name == "default":
-        return {
-            "dbms": tpcc(100),
-            "redis": redis_benchmark_workload(),
-            "nginx": web_workload(),
-            "spark": tpch(10.0, concurrency=4),
-        }[system]
-    raise ReproError(f"unknown workload {name!r}")
+    return _targets_make_system(name, seed=seed, noise=noise)
 
 
 def _objective_for(system: str, metric: str) -> Objective:
-    minimize = not metric.startswith("throughput")
-    return Objective(metric, minimize=minimize)
+    return objective_for(metric)
 
 
 def _make_optimizer(name: str, space, seed: int, objective: Objective):
-    try:
-        factory = _OPTIMIZERS[name]
-    except KeyError:
-        raise ReproError(f"unknown optimizer {name!r}; choose from {sorted(_OPTIMIZERS)}") from None
-    return factory(space, seed, objective)
+    return make_optimizer(name, space, objective, seed=seed, options=_OPTIMIZER_OPTIONS.get(name))
 
 
 # -- commands -----------------------------------------------------------------
@@ -221,7 +176,7 @@ def _cmd_importance(args: argparse.Namespace) -> int:
     system = _make_system(args.system, args.seed, args.noise)
     workload = _make_workload(args.system, args.workload)
     objective = _objective_for(args.system, args.metric)
-    optimizer = RandomSearchOptimizer(system.space, objective, seed=args.seed)
+    optimizer = make_optimizer("random", system.space, objective, seed=args.seed)
     telemetry = TelemetryCallback(
         export_path=args.trace_out, metrics_path=args.metrics_out,
         span_attributes={"optimizer": "random", "seed": args.seed},
@@ -237,6 +192,44 @@ def _cmd_importance(args: argparse.Namespace) -> int:
         rows[: args.top],
         title=f"knob importance on {args.system}/{workload.name} ({args.trials} trials)",
     ))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the durable multi-session tuning service until interrupted."""
+    import asyncio
+    import contextlib
+    import signal
+
+    from .service.server import serve
+
+    def _ready(server) -> None:
+        print(f"listening on {server.address}", flush=True)
+        print(f"store: {args.store}", flush=True)
+
+    async def _main() -> None:
+        loop = asyncio.get_running_loop()
+        task = asyncio.ensure_future(
+            serve(
+                args.store,
+                host=args.host,
+                port=args.port,
+                backend=args.backend,
+                step_workers=args.step_workers,
+                ready=_ready,
+            )
+        )
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):  # pragma: no cover
+                loop.add_signal_handler(sig, task.cancel)
+        with contextlib.suppress(asyncio.CancelledError):
+            await task
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # fallback when signal handlers are unavailable
+        pass
+    print("service shut down cleanly", flush=True)
     return 0
 
 
@@ -282,7 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("tune", help="offline-tune one system")
     common(p)
-    p.add_argument("--optimizer", choices=sorted(_OPTIMIZERS), default="bo")
+    p.add_argument("--optimizer", choices=optimizer_names(), default="bo")
     p.set_defaults(func=_cmd_tune)
 
     p = sub.add_parser("compare", help="race several optimizers")
@@ -305,8 +298,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also convert to Chrome trace-event JSON (Perfetto)")
     p.set_defaults(func=_cmd_trace)
 
+    p = sub.add_parser("serve", help="run the durable tuning service (HTTP)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765, help="0 = pick a free port")
+    p.add_argument("--store", default="tuning-store",
+                   help="store path: directory (JSON journal) or *.sqlite file")
+    p.add_argument("--backend", choices=("json", "sqlite"), default=None,
+                   help="force a backend (default: inferred from --store path)")
+    p.add_argument("--step-workers", type=int, default=4,
+                   help="thread pool size for server-side /step evaluation")
+    p.set_defaults(func=_cmd_serve)
+
     p = sub.add_parser("game", help="play the Spark tuning game")
-    p.add_argument("--optimizer", choices=sorted(_OPTIMIZERS), default="bo")
+    p.add_argument("--optimizer", choices=optimizer_names(), default="bo")
     p.add_argument("--tries", type=int, default=100)
     p.add_argument("--scale-factor", type=float, default=10.0)
     p.add_argument("--seed", type=int, default=0)

@@ -1,7 +1,17 @@
-"""Tuning core: ask/tell protocol, trials, sessions, callbacks."""
+"""Tuning core: ask/tell protocol, trials, sessions, durable stores."""
 
 from .callbacks import Callback, ConvergenceTracker, LoggingCallback, StopWhenConverged, StopWhenReached
+from .codec import (
+    SuggestRequest,
+    Suggestion,
+    TrialReport,
+    decode_trial,
+    encode_trial,
+    report_from_trial,
+)
 from .evaluation import EvaluationResult, coerce_evaluation, run_evaluation
+from .journal import AppendResult, SessionMeta, StorageError, TrialStore, import_legacy_trials, new_session_id
+from .manager import SessionManager, make_optimizer, optimizer_names
 from .optimizer import History, Objective, Optimizer, Trial, TrialStatus
 from .result import TuningResult
 from .storage import (
@@ -14,9 +24,29 @@ from .storage import (
     workload_from_dict,
     workload_to_dict,
 )
+from .stores import JsonJournalStore, MemoryTrialStore, SqliteTrialStore, open_store
 from .session import Evaluator, TuningSession
 
 __all__ = [
+    "SuggestRequest",
+    "Suggestion",
+    "TrialReport",
+    "decode_trial",
+    "encode_trial",
+    "report_from_trial",
+    "AppendResult",
+    "SessionMeta",
+    "StorageError",
+    "TrialStore",
+    "import_legacy_trials",
+    "new_session_id",
+    "SessionManager",
+    "make_optimizer",
+    "optimizer_names",
+    "JsonJournalStore",
+    "MemoryTrialStore",
+    "SqliteTrialStore",
+    "open_store",
     "Callback",
     "ConvergenceTracker",
     "LoggingCallback",

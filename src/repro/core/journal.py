@@ -1,0 +1,285 @@
+"""Durable session state: the ``TrialStore`` interface and trial journal.
+
+The paper frames autotuning as a *service*: campaigns outlive processes,
+so trials must be durable the moment they are acknowledged. This module
+defines the storage contract every backend implements and the metadata
+needed to resurrect a session from storage alone.
+
+Design
+------
+* **Append-only.** A session's history is an ordered journal of trial
+  records (the canonical :func:`repro.core.codec.encode_trial` shape).
+  Stores never rewrite history — crash recovery is "read the prefix that
+  made it to disk".
+* **Atomic + idempotent appends.** ``append_trial`` must be atomic (a
+  crash mid-write never corrupts previously-acknowledged records) and
+  deduplicating: a record whose ``report_id`` was already journaled is
+  dropped and reported as a duplicate, which is what makes client retries
+  over an unreliable transport safe.
+* **Self-describing sessions.** :class:`SessionMeta` persists everything
+  a :class:`~repro.core.manager.SessionManager` needs to rebuild the
+  session — serialized space, optimizer spec, objectives, budgets — so
+  ``resume(session_id)`` works in a process that never saw the session.
+
+Backends live in :mod:`repro.core.stores`: a JSON-lines journal
+(:class:`~repro.core.stores.JsonJournalStore`), SQLite in WAL mode
+(:class:`~repro.core.stores.SqliteTrialStore`), and an in-memory store
+for tests. :func:`import_legacy_trials` migrates pre-service whole-file
+JSON dumps (``storage.save_trials``) into any store.
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "StorageError",
+    "SessionMeta",
+    "AppendResult",
+    "TrialStore",
+    "new_session_id",
+    "import_legacy_trials",
+]
+
+META_FORMAT_VERSION = 1
+
+#: Version-1 trial files written by the deprecated ``storage.save_trials``.
+LEGACY_TRIALS_VERSION = 1
+
+
+class StorageError(ReproError):
+    """A trial store operation failed or the stored state is invalid."""
+
+
+def new_session_id() -> str:
+    """A fresh, URL-safe session identifier."""
+    return uuid.uuid4().hex
+
+
+@dataclass
+class SessionMeta:
+    """Everything needed to rebuild a tuning session from storage.
+
+    ``space`` is the :func:`repro.space.serialize.space_to_dict` form;
+    ``optimizer`` is ``{"name": ..., "seed": ..., "options": {...}}``
+    resolved against the optimizer registry at resume time. ``extra`` is
+    free-form (the service records its target-system spec there).
+    """
+
+    session_id: str
+    space: dict[str, Any]
+    optimizer: dict[str, Any]
+    objectives: list[dict[str, Any]]
+    max_trials: int
+    max_cost: float | None = None
+    batch_size: int = 1
+    status: str = "active"
+    created_at: float = 0.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": META_FORMAT_VERSION,
+            "session_id": self.session_id,
+            "space": self.space,
+            "optimizer": self.optimizer,
+            "objectives": self.objectives,
+            "max_trials": self.max_trials,
+            "max_cost": self.max_cost,
+            "batch_size": self.batch_size,
+            "status": self.status,
+            "created_at": self.created_at,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SessionMeta":
+        version = data.get("version", META_FORMAT_VERSION)
+        if version != META_FORMAT_VERSION:
+            raise StorageError(f"unsupported session-meta version {version!r}")
+        try:
+            return cls(
+                session_id=str(data["session_id"]),
+                space=dict(data["space"]),
+                optimizer=dict(data["optimizer"]),
+                objectives=[dict(o) for o in data["objectives"]],
+                max_trials=int(data["max_trials"]),
+                max_cost=None if data.get("max_cost") is None else float(data["max_cost"]),
+                batch_size=int(data.get("batch_size", 1)),
+                status=str(data.get("status", "active")),
+                created_at=float(data.get("created_at", 0.0)),
+                extra=dict(data.get("extra", {})),
+            )
+        except (KeyError, TypeError, ValueError) as err:
+            raise StorageError(f"malformed session meta: {err}") from err
+
+
+@dataclass(frozen=True)
+class AppendResult:
+    """Outcome of one ``append_trial``: the durable trial id, and whether
+    the record was a duplicate of an already-journaled report."""
+
+    trial_id: int
+    duplicate: bool = False
+
+
+class TrialStore(ABC):
+    """Abstract durable store of tuning sessions and their trial journals.
+
+    The contract all backends must honour:
+
+    * ``append_trial`` is **atomic** — after a crash at any point, loading
+      the session yields exactly the records whose appends were
+      acknowledged (a torn trailing write is discarded, never surfaced as
+      corruption) — and **idempotent** on ``record["report_id"]``.
+    * ``load_trials`` returns records in append order with contiguous
+      ``trial_id`` 0..n-1.
+    * All methods are thread-safe.
+    """
+
+    # -- sessions -----------------------------------------------------------
+    @abstractmethod
+    def create_session(self, meta: SessionMeta) -> None:
+        """Persist a new session. Raises :class:`StorageError` if the id exists."""
+
+    @abstractmethod
+    def get_session(self, session_id: str) -> SessionMeta | None:
+        """Load a session's metadata, or ``None`` if unknown."""
+
+    @abstractmethod
+    def update_session(self, session_id: str, **fields: Any) -> None:
+        """Update mutable metadata fields (``status``, ``extra``)."""
+
+    @abstractmethod
+    def list_sessions(self) -> list[str]:
+        """All known session ids (sorted)."""
+
+    # -- trials -------------------------------------------------------------
+    @abstractmethod
+    def append_trial(self, session_id: str, record: Mapping[str, Any]) -> AppendResult:
+        """Durably append one trial record; returns its id and dup flag.
+
+        The store assigns the journal position as the authoritative
+        ``trial_id`` (any id in ``record`` is overwritten), so callers
+        cannot create gaps or collisions.
+        """
+
+    @abstractmethod
+    def load_trials(self, session_id: str) -> list[dict[str, Any]]:
+        """All journaled records of a session, in append order."""
+
+    @abstractmethod
+    def trial_count(self, session_id: str) -> int:
+        """Number of journaled trials (cheaper than ``len(load_trials())``)."""
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release resources; further use is undefined."""
+
+    def __enter__(self) -> "TrialStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- shared helpers -----------------------------------------------------
+    @staticmethod
+    def _require_session(meta: SessionMeta | None, session_id: str) -> SessionMeta:
+        if meta is None:
+            raise StorageError(f"unknown session {session_id!r}")
+        return meta
+
+
+# -- legacy migration --------------------------------------------------------
+
+
+def iter_legacy_trials(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Yield trial records from a pre-service ``save_trials`` JSON file."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        raise StorageError(f"cannot read legacy trial file {path}: {err}") from err
+    if payload.get("version") != LEGACY_TRIALS_VERSION:
+        raise StorageError(f"unsupported trial-file version: {payload.get('version')!r}")
+    for record in payload.get("trials", []):
+        yield dict(record)
+
+
+def import_legacy_trials(
+    store: TrialStore,
+    path: str | Path,
+    session_id: str | None = None,
+    space: dict[str, Any] | Any = None,
+    objectives: Sequence[Mapping[str, Any]] | None = None,
+) -> str:
+    """Migrate a whole-file JSON dump into ``store`` as one session.
+
+    ``space`` may be a :class:`~repro.space.ConfigurationSpace` (serialized
+    via :func:`~repro.space.serialize.space_to_dict`) or an
+    already-serialized dict; when omitted, a minimal space is inferred so
+    the records stay loadable, though resuming an *optimizer* over an
+    inferred space is best-effort. Returns the session id.
+    """
+    from ..space import ConfigurationSpace
+    from ..space.serialize import space_to_dict
+
+    records = list(iter_legacy_trials(path))
+    if isinstance(space, ConfigurationSpace):
+        space_spec = space_to_dict(space, strict=False)
+    elif isinstance(space, Mapping):
+        space_spec = dict(space)
+    else:
+        space_spec = _infer_space_spec(records, name=Path(path).stem)
+    sid = session_id or f"legacy-{Path(path).stem}-{new_session_id()[:8]}"
+    metric_names = sorted({name for r in records for name in r.get("metrics", {})})
+    objs = [dict(o) for o in objectives] if objectives else (
+        [{"name": metric_names[0], "minimize": True}] if metric_names else [{"name": "score", "minimize": True}]
+    )
+    meta = SessionMeta(
+        session_id=sid,
+        space=space_spec,
+        optimizer={"name": "random", "seed": 0, "options": {}},
+        objectives=objs,
+        max_trials=max(len(records), 1),
+        status="migrated",
+        extra={"migrated_from": str(path)},
+    )
+    store.create_session(meta)
+    for record in records:
+        store.append_trial(sid, record)
+    return sid
+
+
+def _infer_space_spec(records: Sequence[Mapping[str, Any]], name: str) -> dict[str, Any]:
+    """Best-effort space description from the values seen in a legacy file."""
+    values_by_knob: dict[str, list[Any]] = {}
+    for r in records:
+        for knob, value in r.get("config", {}).items():
+            values_by_knob.setdefault(knob, []).append(value)
+    params: list[dict[str, Any]] = []
+    for knob, values in values_by_knob.items():
+        if all(isinstance(v, bool) for v in values):
+            params.append({"type": "bool", "name": knob, "default": values[0]})
+        elif all(isinstance(v, int) and not isinstance(v, bool) for v in values):
+            lo, hi = min(values), max(values)
+            hi = hi if hi > lo else lo + 1
+            params.append({"type": "int", "name": knob, "lower": lo, "upper": hi, "default": values[0]})
+        elif all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in values):
+            lo, hi = float(min(values)), float(max(values))
+            hi = hi if hi > lo else lo + 1.0
+            params.append({"type": "float", "name": knob, "lower": lo, "upper": hi, "default": float(values[0])})
+        else:
+            choices = sorted(set(values), key=repr)
+            if len(choices) < 2:
+                choices = choices + [f"_not_{choices[0]}"]
+            params.append({"type": "categorical", "name": knob, "choices": choices, "default": values[0]})
+    if not params:
+        params = [{"type": "bool", "name": "placeholder", "default": False}]
+    return {"version": 1, "name": name, "parameters": params, "conditions": []}

@@ -1,0 +1,301 @@
+"""One lifecycle API for tuning sessions: create, resume, list, complete.
+
+Library code, the CLI, and the HTTP service all construct sessions through
+:class:`SessionManager`, so the three surfaces share identical semantics:
+
+* ``create(...)`` serialises the space and optimizer spec into a
+  :class:`~repro.core.journal.SessionMeta`, persists it to the attached
+  :class:`~repro.core.journal.TrialStore`, and returns a
+  :class:`~repro.core.session.TuningSession` wired to journal every trial.
+* ``resume(session_id)`` rebuilds the space, optimizer, and full history
+  from storage alone — any process holding the store can continue any
+  session, which is what makes the service crash-tolerant.
+
+The optimizer registry maps wire-friendly names (``"bo"``, ``"smac"``,
+``"random"``, …) to constructors; it is the same table the CLI uses, so a
+session created from the command line can be resumed over HTTP and vice
+versa.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+
+from ..exceptions import ReproError
+from ..space import ConfigurationSpace
+from ..space.serialize import space_from_dict, space_to_dict
+from .codec import decode_trial
+from .journal import SessionMeta, StorageError, TrialStore, new_session_id
+from .optimizer import Objective, Optimizer, TrialStatus
+from .session import Evaluator, TuningSession
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..execution import TrialExecutor
+    from .callbacks import Callback
+
+__all__ = ["SessionManager", "make_optimizer", "optimizer_names"]
+
+
+def _registry() -> dict[str, Callable[..., Optimizer]]:
+    # Deferred import: repro.optimizers imports repro.core, so binding the
+    # registry at module import time would be circular.
+    from ..optimizers import (
+        BayesianOptimizer,
+        BestConfigOptimizer,
+        CMAESOptimizer,
+        GridSearchOptimizer,
+        ParticleSwarmOptimizer,
+        RandomSearchOptimizer,
+        SimulatedAnnealingOptimizer,
+        SMACOptimizer,
+    )
+
+    return {
+        "random": RandomSearchOptimizer,
+        "grid": GridSearchOptimizer,
+        "bo": BayesianOptimizer,
+        "smac": SMACOptimizer,
+        "anneal": SimulatedAnnealingOptimizer,
+        "cmaes": CMAESOptimizer,
+        "pso": ParticleSwarmOptimizer,
+        "bestconfig": BestConfigOptimizer,
+    }
+
+
+def optimizer_names() -> list[str]:
+    """Registered optimizer names usable in session specs."""
+    return sorted(_registry())
+
+
+def make_optimizer(
+    name: str,
+    space: ConfigurationSpace,
+    objectives: Sequence[Objective] | Objective,
+    seed: int | None = None,
+    options: Mapping[str, Any] | None = None,
+) -> Optimizer:
+    """Instantiate a registered optimizer from its wire-level spec."""
+    try:
+        cls = _registry()[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown optimizer {name!r}; choose from {optimizer_names()}"
+        ) from None
+    try:
+        return cls(space, objectives=list(objectives) if isinstance(objectives, Sequence) else objectives, seed=seed, **dict(options or {}))
+    except TypeError as err:
+        raise ReproError(f"bad options for optimizer {name!r}: {err}") from err
+
+
+def _normalise_objectives(
+    objectives: Sequence[Objective] | Objective | Sequence[Mapping[str, Any]] | Mapping[str, Any] | None,
+) -> list[Objective]:
+    if objectives is None:
+        return [Objective("score", minimize=True)]
+    if isinstance(objectives, (Objective, Mapping)):
+        objectives = [objectives]
+    out = []
+    for obj in objectives:
+        if isinstance(obj, Objective):
+            out.append(obj)
+        else:
+            out.append(Objective(str(obj["name"]), minimize=bool(obj.get("minimize", True))))
+    return out
+
+
+class SessionManager:
+    """Factory and registry of durable tuning sessions over one store.
+
+    Parameters
+    ----------
+    store:
+        The durable backend; defaults to a fresh non-durable
+        :class:`~repro.core.stores.MemoryTrialStore`.
+    """
+
+    def __init__(self, store: TrialStore | None = None) -> None:
+        if store is None:
+            from .stores import MemoryTrialStore
+
+            store = MemoryTrialStore()
+        self.store = store
+
+    # -- lifecycle ----------------------------------------------------------
+    def create(
+        self,
+        space: ConfigurationSpace,
+        optimizer: str = "random",
+        objectives: Sequence[Objective] | Objective | None = None,
+        max_trials: int = 100,
+        max_cost: float | None = None,
+        batch_size: int = 1,
+        seed: int | None = None,
+        optimizer_options: Mapping[str, Any] | None = None,
+        session_id: str | None = None,
+        evaluator: Evaluator | None = None,
+        executor: "TrialExecutor | None" = None,
+        callbacks: Sequence["Callback"] = (),
+        extra: Mapping[str, Any] | None = None,
+    ) -> TuningSession:
+        """Create a new durable session and return it ready to drive.
+
+        The space is serialised with ``strict=False``: members that cannot
+        cross a process boundary (callable constraints/conditions) stay
+        active in *this* process but are listed under ``dropped`` in the
+        stored spec, so a resumed session runs without them.
+        """
+        objs = _normalise_objectives(objectives)
+        sid = session_id or new_session_id()
+        meta = SessionMeta(
+            session_id=sid,
+            space=space_to_dict(space, strict=False),
+            optimizer={
+                "name": optimizer,
+                "seed": seed,
+                "options": dict(optimizer_options or {}),
+            },
+            objectives=[{"name": o.name, "minimize": o.minimize} for o in objs],
+            max_trials=int(max_trials),
+            max_cost=max_cost,
+            batch_size=int(batch_size),
+            created_at=time.time(),
+            extra=dict(extra or {}),
+        )
+        self.store.create_session(meta)
+        opt = make_optimizer(optimizer, space, objs, seed=seed, options=optimizer_options)
+        return TuningSession(
+            opt,
+            evaluator,
+            max_trials=meta.max_trials,
+            max_cost=meta.max_cost,
+            batch_size=meta.batch_size,
+            callbacks=callbacks,
+            executor=executor,
+            store=self.store,
+            session_id=sid,
+        )
+
+    def resume(
+        self,
+        session_id: str,
+        evaluator: Evaluator | None = None,
+        executor: "TrialExecutor | None" = None,
+        callbacks: Sequence["Callback"] = (),
+    ) -> TuningSession:
+        """Rebuild a session from storage: space, optimizer, full history.
+
+        Journaled trials are replayed into the fresh optimizer with their
+        recorded metrics (failed trials keep their stored imputations —
+        replay is exact, not re-imputed), so the optimizer's model picks up
+        where the dead process left off and trial ids stay contiguous with
+        the journal. Tell-idempotency state (seen ``report_id``s) is
+        restored as well.
+        """
+        meta = self.store.get_session(session_id)
+        if meta is None:
+            raise StorageError(f"unknown session {session_id!r}")
+        space = space_from_dict(meta.space)
+        objs = _normalise_objectives(meta.objectives)
+        opt = make_optimizer(
+            meta.optimizer.get("name", "random"),
+            space,
+            objs,
+            seed=meta.optimizer.get("seed"),
+            options=meta.optimizer.get("options"),
+        )
+        records = self.store.load_trials(session_id)
+        report_ids: dict[str, int] = {}
+        for record in records:
+            trial = decode_trial(record, space)
+            replayed = opt.observe(
+                trial.config,
+                trial.metrics,
+                cost=trial.cost,
+                status=trial.status,
+                fidelity=trial.fidelity,
+                context=trial.context,
+            )
+            if replayed.trial_id != trial.trial_id:
+                raise StorageError(
+                    f"journal of session {session_id!r} is not contiguous: record "
+                    f"{trial.trial_id} replayed as {replayed.trial_id}"
+                )
+            if record.get("report_id") is not None:
+                report_ids[record["report_id"]] = trial.trial_id
+        session = TuningSession(
+            opt,
+            evaluator,
+            max_trials=meta.max_trials,
+            max_cost=meta.max_cost,
+            batch_size=meta.batch_size,
+            callbacks=callbacks,
+            executor=executor,
+            store=self.store,
+            session_id=session_id,
+        )
+        session._report_trial_ids.update(report_ids)
+        return session
+
+    def open(
+        self,
+        session_id: str,
+        evaluator: Evaluator | None = None,
+        **kwargs: Any,
+    ) -> TuningSession:
+        """Resume if the session exists; error otherwise (alias of resume)."""
+        return self.resume(session_id, evaluator=evaluator, **kwargs)
+
+    # -- registry views ------------------------------------------------------
+    def exists(self, session_id: str) -> bool:
+        return self.store.get_session(session_id) is not None
+
+    def meta(self, session_id: str) -> SessionMeta:
+        meta = self.store.get_session(session_id)
+        if meta is None:
+            raise StorageError(f"unknown session {session_id!r}")
+        return meta
+
+    def list_sessions(self) -> list[str]:
+        return self.store.list_sessions()
+
+    def status(self, session_id: str) -> dict[str, Any]:
+        """A JSON-safe status snapshot straight from storage (no replay)."""
+        meta = self.meta(session_id)
+        records = self.store.load_trials(session_id)
+        objective = _normalise_objectives(meta.objectives)[0]
+        best_value = None
+        best_config = None
+        for record in records:
+            if record.get("status") != TrialStatus.SUCCEEDED.value:
+                continue
+            value = record.get("metrics", {}).get(objective.name)
+            if value is None:
+                continue
+            if best_value is None or objective.score(value) < objective.score(best_value):
+                best_value = float(value)
+                best_config = record.get("config")
+        return {
+            "session_id": session_id,
+            "status": meta.status,
+            "n_trials": len(records),
+            "max_trials": meta.max_trials,
+            "complete": len(records) >= meta.max_trials,
+            "objective": {"name": objective.name, "minimize": objective.minimize},
+            "best_value": best_value,
+            "best_config": best_config,
+            "optimizer": meta.optimizer.get("name"),
+        }
+
+    def complete(self, session_id: str) -> None:
+        """Mark a session finished (it can still be resumed read-only)."""
+        self.store.update_session(session_id, status="completed")
+
+    def close(self) -> None:
+        self.store.close()
+
+    def __enter__(self) -> "SessionManager":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -12,6 +12,21 @@ early aborts (:class:`~repro.exceptions.TrialAbortedError`) become failed
 trials with imputed scores rather than terminating the run; that folding
 lives in :func:`repro.core.evaluation.run_evaluation`, shared by every
 executor backend.
+
+Two ways to drive a session:
+
+* :meth:`TuningSession.run` — the closed loop: the session evaluates its
+  own suggestions until the budget is spent.
+* :meth:`TuningSession.ask` / :meth:`TuningSession.tell` — the open loop:
+  the caller evaluates configurations elsewhere and reports results back
+  as :class:`~repro.core.codec.TrialReport` payloads. This is the same
+  surface the HTTP service exposes, with the same dataclasses; reports
+  carrying a ``report_id`` are idempotent.
+
+When a :class:`~repro.core.journal.TrialStore` is attached (normally by a
+:class:`~repro.core.manager.SessionManager`), every observed trial —
+whichever loop produced it — is durably journaled before the observe
+returns, which is what makes sessions resumable after a crash.
 """
 
 from __future__ import annotations
@@ -24,12 +39,14 @@ from ..exceptions import OptimizerError
 from ..space import Configuration
 from ..telemetry.spans import span, trial_scope
 from .callbacks import Callback
+from .codec import SuggestRequest, Suggestion, TrialReport, config_from_values, encode_trial, json_safe
 from .evaluation import coerce_evaluation
-from .optimizer import Optimizer, Trial
+from .optimizer import Optimizer, Trial, TrialStatus
 from .result import TuningResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a circular import)
     from ..execution import TrialExecution, TrialExecutor
+    from .journal import TrialStore
 
 __all__ = ["TuningSession", "Evaluator"]
 
@@ -65,17 +82,25 @@ class TuningSession:
         in-thread executor (historic behavior). The session does not own
         the executor — reuse it across sessions and ``shutdown()`` it when
         done (or use it as a context manager).
+    store, session_id:
+        Optional durable :class:`~repro.core.journal.TrialStore` to journal
+        every observed trial into (under ``session_id``). Normally wired by
+        a :class:`~repro.core.manager.SessionManager` rather than directly.
+    evaluator:
+        May be ``None`` for ask/tell-only sessions; :meth:`run` then raises.
     """
 
     def __init__(
         self,
         optimizer: Optimizer,
-        evaluator: Evaluator,
+        evaluator: Evaluator | None,
         max_trials: int,
         max_cost: float | None = None,
         batch_size: int = 1,
         callbacks: Sequence[Callback] = (),
         executor: "TrialExecutor | None" = None,
+        store: "TrialStore | None" = None,
+        session_id: str | None = None,
     ) -> None:
         if max_trials < 1:
             raise OptimizerError(f"max_trials must be >= 1, got {max_trials}")
@@ -88,7 +113,12 @@ class TuningSession:
         self.batch_size = int(batch_size)
         self.callbacks = list(callbacks)
         self.executor = executor
+        self.store = store
+        self.session_id = session_id
         self.last_suggest_latency_s = 0.0
+        self._next_ask_id = 0
+        self._pending_asks: dict[int, Configuration] = {}
+        self._report_trial_ids: dict[str, int] = {}  # report_id -> trial_id (tell idempotency)
 
     # -- internals ---------------------------------------------------------
     @staticmethod
@@ -118,9 +148,112 @@ class TuningSession:
 
         return SerialExecutor()
 
+    # -- ask/tell (open loop) ------------------------------------------------
+    @property
+    def is_complete(self) -> bool:
+        """Whether the trial budget has been exhausted."""
+        return len(self.optimizer.history) >= self.max_trials
+
+    def ask(self, request: SuggestRequest | int = 1) -> list[Suggestion]:
+        """Propose the next configurations without evaluating them.
+
+        The open-loop half of the unified ask/tell surface: the caller (a
+        library user, or the HTTP service on behalf of a remote client)
+        evaluates the returned configurations and reports results via
+        :meth:`tell`. Each suggestion carries a per-session ``ask_id``
+        token to echo back in the matching report.
+        """
+        if isinstance(request, int):
+            request = SuggestRequest(n=request)
+        remaining = self.max_trials - len(self.optimizer.history)
+        if remaining <= 0:
+            raise OptimizerError(
+                f"session{f' {self.session_id!r}' if self.session_id else ''} is complete "
+                f"({self.max_trials} trials)"
+            )
+        t0 = time.perf_counter()
+        with span("optimizer.suggest", n=min(request.n, remaining)):
+            configs = self.optimizer.suggest(min(request.n, remaining))
+        self.last_suggest_latency_s = time.perf_counter() - t0
+        suggestions = []
+        for config in configs:
+            ask_id = self._next_ask_id
+            self._next_ask_id += 1
+            self._pending_asks[ask_id] = config
+            suggestions.append(
+                Suggestion(
+                    config=json_safe(config.as_dict()),
+                    ask_id=ask_id,
+                    session_id=self.session_id,
+                    fidelity=request.fidelity,
+                )
+            )
+        return suggestions
+
+    def tell(self, report: TrialReport | Mapping[str, Any]) -> tuple[Trial, bool]:
+        """Record one evaluation result; returns ``(trial, duplicate)``.
+
+        Duplicate reports (same ``report_id`` as an already-recorded one,
+        e.g. a client retry after a dropped response) return the original
+        trial with ``duplicate=True`` and change nothing. The trial is
+        journaled to the attached store *before* this method returns, so an
+        acknowledged tell survives a crash.
+        """
+        if not isinstance(report, TrialReport):
+            report = TrialReport.from_dict(report)
+        if report.report_id is not None and report.report_id in self._report_trial_ids:
+            trial_id = self._report_trial_ids[report.report_id]
+            return self.optimizer.history.trials[trial_id], True
+        config = self._pending_asks.pop(report.ask_id, None) if report.ask_id is not None else None
+        if config is None:
+            # Unknown or pre-restart ask: the report carries the full
+            # configuration values, so rebuild (and re-validate) from them.
+            config = config_from_values(report.config, self.optimizer.space)
+        status = TrialStatus(report.status)
+        context = dict(report.context)
+        if status is TrialStatus.SUCCEEDED:
+            trial = self.optimizer.observe(
+                config,
+                report.metrics,
+                cost=report.cost,
+                status=status,
+                fidelity=report.fidelity,
+                context=context,
+            )
+        else:
+            trial = self.optimizer.observe_failure(
+                config, cost=report.cost, status=status, context=context
+            )
+        self._record(trial, report_id=report.report_id)
+        if not trial.ok:
+            for cb in self.callbacks:
+                cb.on_trial_error(self, trial, None)
+        for cb in self.callbacks:
+            cb.on_trial_end(self, trial)
+        return trial, False
+
+    def _record(self, trial: Trial, report_id: str | None = None) -> None:
+        """Durably journal one observed trial (no-op without a store)."""
+        if report_id is not None:
+            self._report_trial_ids[report_id] = trial.trial_id
+        if self.store is None or self.session_id is None:
+            return
+        appended = self.store.append_trial(self.session_id, encode_trial(trial, report_id))
+        if appended.trial_id != trial.trial_id:
+            raise OptimizerError(
+                f"journal/optimizer trial-id divergence in session {self.session_id!r}: "
+                f"journal assigned {appended.trial_id}, optimizer {trial.trial_id} "
+                "(was the optimizer observed outside the session?)"
+            )
+
     # -- main loop ----------------------------------------------------------
     def run(self) -> TuningResult:
         """Run to budget exhaustion and return the result."""
+        if self.evaluator is None:
+            raise OptimizerError(
+                "session has no evaluator: drive it via ask()/tell(), or construct "
+                "it with an evaluator to use run()"
+            )
         executor = self._make_executor()
         for cb in self.callbacks:
             cb.on_session_start(self)
@@ -197,6 +330,7 @@ class TuningSession:
         # attribute them. (None for process pools — spans didn't cross.)
         if execution.span_ref is not None:
             execution.span_ref.trial_id = trial.trial_id
+        self._record(trial)
         return trial
 
     def result(self) -> TuningResult:

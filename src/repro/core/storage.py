@@ -1,27 +1,40 @@
-"""Persistence for tuning histories and prior banks.
+"""Legacy persistence API (deprecated shims over the trial-store layer).
 
-Knowledge transfer (slide 67) only works if yesterday's trials survive
-until today: this module serialises trials, histories, and workloads to
-JSON so a :class:`~repro.optimizers.transfer.PriorBank` can live on disk
-between tuning campaigns.
+The whole-file JSON helpers that used to be the only persistence in the
+library now route through the canonical codec
+(:mod:`repro.core.codec`) and are superseded by the durable, resumable
+:class:`~repro.core.journal.TrialStore` backends in
+:mod:`repro.core.stores`:
 
-Configurations are stored as plain value mappings and re-validated against
-the target space at load time — histories transfer across compatible
-spaces (extra knobs are dropped, missing ones take defaults), mirroring
-how `Optimizer.warm_start` behaves.
+* new code should journal trials through a store (usually via
+  :class:`~repro.core.manager.SessionManager`);
+* existing ``save_trials``/``load_trials`` call sites keep working — the
+  file format is unchanged — but emit :class:`DeprecationWarning`;
+* old files migrate into any store with
+  :func:`repro.core.journal.import_legacy_trials`.
+
+Writes here are now atomic (write-temp + ``os.replace``), fixing the
+partial-file window the old implementation had.
+
+Prior-bank persistence (:func:`save_prior_bank`/:func:`load_prior_bank`)
+is *not* deprecated — banks are cross-session artifacts, not session
+state — but shares the codec and atomic-write path.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import warnings
 from pathlib import Path
 from typing import Any, Iterable
 
 from ..exceptions import ReproError
 from ..space import ConfigurationSpace
 from ..workloads import Workload
-from .optimizer import History, Objective, Trial, TrialStatus
+from .codec import decode_trial, encode_trial
+from .optimizer import Trial
 
 __all__ = [
     "trial_to_dict",
@@ -36,55 +49,56 @@ __all__ = [
 
 _FORMAT_VERSION = 1
 
-
-def trial_to_dict(trial: Trial) -> dict[str, Any]:
-    """JSON-safe representation of one trial."""
-    return {
-        "trial_id": trial.trial_id,
-        "config": trial.config.as_dict(),
-        "status": trial.status.value,
-        "metrics": dict(trial.metrics),
-        "cost": trial.cost,
-        "fidelity": trial.fidelity,
-        "context": dict(trial.context),
-    }
+#: Canonical codec aliases — the historic names many call sites use.
+trial_to_dict = encode_trial
+trial_from_dict = decode_trial
 
 
-def trial_from_dict(data: dict[str, Any], space: ConfigurationSpace) -> Trial:
-    """Rebuild a trial, re-validating the configuration against ``space``."""
-    try:
-        values = {k: v for k, v in data["config"].items() if k in space}
-        config = space.make(values, check_constraints=False)
-        return Trial(
-            trial_id=int(data["trial_id"]),
-            config=config,
-            status=TrialStatus(data["status"]),
-            metrics={k: float(v) for k, v in data["metrics"].items()},
-            cost=float(data.get("cost", 1.0)),
-            fidelity=data.get("fidelity"),
-            context=dict(data.get("context", {})),
-        )
-    except (KeyError, ValueError, TypeError) as err:
-        raise ReproError(f"malformed trial record: {err}") from err
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.core.storage.{old} is deprecated; persist trials through a "
+        f"TrialStore instead ({new})",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _atomic_write_text(path: str | Path, text: str) -> None:
+    path = Path(path)
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    tmp.write_text(text)
+    os.replace(tmp, path)
 
 
 def save_trials(trials: Iterable[Trial], path: str | Path) -> int:
-    """Write trials as a JSON document; returns the number written."""
-    records = [trial_to_dict(t) for t in trials]
+    """Write trials as one JSON document; returns the number written.
+
+    .. deprecated:: use a :class:`~repro.core.journal.TrialStore` (e.g.
+       ``JsonJournalStore``/``SqliteTrialStore``) via ``SessionManager``
+       for durable, resumable, crash-safe persistence.
+    """
+    _deprecated("save_trials", "SessionManager.create(...) journals automatically")
+    records = [encode_trial(t) for t in trials]
     payload = {"version": _FORMAT_VERSION, "trials": records}
-    Path(path).write_text(json.dumps(payload, indent=2, default=_json_default))
+    _atomic_write_text(path, json.dumps(payload, indent=2, default=_json_default))
     return len(records)
 
 
 def load_trials(path: str | Path, space: ConfigurationSpace) -> list[Trial]:
-    """Load trials saved by :func:`save_trials`."""
+    """Load trials saved by :func:`save_trials`.
+
+    .. deprecated:: use :func:`repro.core.journal.import_legacy_trials` to
+       migrate the file into a :class:`~repro.core.journal.TrialStore`,
+       then resume through ``SessionManager``.
+    """
+    _deprecated("load_trials", "import_legacy_trials(store, path) + SessionManager.resume(...)")
     try:
         payload = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as err:
         raise ReproError(f"cannot read trial file {path}: {err}") from err
     if payload.get("version") != _FORMAT_VERSION:
         raise ReproError(f"unsupported trial-file version: {payload.get('version')!r}")
-    return [trial_from_dict(r, space) for r in payload.get("trials", [])]
+    return [decode_trial(r, space) for r in payload.get("trials", [])]
 
 
 def _json_default(obj: Any):
@@ -121,12 +135,12 @@ def save_prior_bank(bank, path: str | Path) -> int:
         {
             "workload": workload_to_dict(run.workload),
             "context": dict(run.context),
-            "trials": [trial_to_dict(t) for t in run.trials],
+            "trials": [encode_trial(t) for t in run.trials],
         }
         for run in bank.runs
     ]
     payload = {"version": _FORMAT_VERSION, "runs": runs}
-    Path(path).write_text(json.dumps(payload, indent=2, default=_json_default))
+    _atomic_write_text(path, json.dumps(payload, indent=2, default=_json_default))
     return len(runs)
 
 
@@ -145,7 +159,7 @@ def load_prior_bank(path: str | Path, space: ConfigurationSpace):
         bank.add(
             PriorRun(
                 workload=workload_from_dict(record["workload"]),
-                trials=[trial_from_dict(t, space) for t in record.get("trials", [])],
+                trials=[decode_trial(t, space) for t in record.get("trials", [])],
                 context=dict(record.get("context", {})),
             )
         )

@@ -1,0 +1,48 @@
+"""Trial-store backends implementing :class:`repro.core.journal.TrialStore`.
+
+* :class:`JsonJournalStore` — one append-only JSON-lines journal per
+  session, human-inspectable, atomic via fsynced appends + torn-tail
+  recovery, metadata via write-temp + ``os.replace``.
+* :class:`SqliteTrialStore` — single-file SQLite database in WAL mode;
+  the right default for a long-lived service hosting many sessions.
+* :class:`MemoryTrialStore` — non-durable, for tests and ephemeral use.
+
+:func:`open_store` picks a backend from a path: ``*.sqlite``/``*.db`` (or
+an existing SQLite file) opens SQLite, anything else a journal directory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..journal import StorageError, TrialStore
+from .json_journal import JsonJournalStore
+from .memory import MemoryTrialStore
+from .sqlite import SqliteTrialStore
+
+__all__ = [
+    "JsonJournalStore",
+    "MemoryTrialStore",
+    "SqliteTrialStore",
+    "open_store",
+]
+
+
+def open_store(path: str | Path, backend: str | None = None) -> TrialStore:
+    """Open (creating if needed) a durable trial store at ``path``.
+
+    ``backend`` forces ``"sqlite"`` or ``"json"``; by default the choice
+    follows the path: SQLite for ``*.sqlite``/``*.sqlite3``/``*.db`` or an
+    existing regular file, JSON journal directory otherwise.
+    """
+    path = Path(path)
+    if backend is None:
+        if path.suffix in (".sqlite", ".sqlite3", ".db") or path.is_file():
+            backend = "sqlite"
+        else:
+            backend = "json"
+    if backend == "sqlite":
+        return SqliteTrialStore(path)
+    if backend == "json":
+        return JsonJournalStore(path)
+    raise StorageError(f"unknown store backend {backend!r}; choose 'sqlite' or 'json'")

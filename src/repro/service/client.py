@@ -1,0 +1,183 @@
+"""A minimal asyncio client for the tuning service (stdlib only).
+
+One connection per request (simple and robust against server restarts —
+exactly the situation a durable tuning service is designed for). The
+client speaks the same wire dataclasses as the server: ``ask`` returns
+:class:`~repro.core.codec.Suggestion` objects, ``tell`` takes a
+:class:`~repro.core.codec.TrialReport`.
+
+``tell_reliably`` is the recommended way to report results: it retries on
+connection failures with the same ``report_id``, relying on the server's
+journal-level deduplication — at-least-once delivery, exactly-once
+recording.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Mapping, Sequence
+
+from ..core.codec import Suggestion, TrialReport
+from ..exceptions import ReproError
+from .wire import WireError
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = float(timeout_s)
+
+    # -- transport ----------------------------------------------------------
+    async def request(self, method: str, path: str, payload: Mapping[str, Any] | None = None) -> Any:
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Content-Type: application/json\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.timeout_s
+        )
+        try:
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), self.timeout_s)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+        return self._parse_response(raw)
+
+    @staticmethod
+    def _parse_response(raw: bytes) -> Any:
+        if not raw:
+            raise ConnectionError("empty response (server closed the connection)")
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+        try:
+            status = int(status_line.split()[1])
+        except (IndexError, ValueError):
+            raise WireError(f"malformed status line {status_line!r}") from None
+        content_type = ""
+        for line in head.split(b"\r\n")[1:]:
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-type":
+                content_type = value.strip()
+        if content_type.startswith("application/json"):
+            data = json.loads(body.decode("utf-8")) if body else None
+        else:
+            data = body.decode("utf-8")
+        if status >= 400:
+            message = data["error"]["message"] if isinstance(data, dict) and "error" in data else str(data)
+            raise ServiceError(status, message)
+        return data
+
+    # -- API ----------------------------------------------------------------
+    async def health(self) -> dict[str, Any]:
+        return await self.request("GET", "/healthz")
+
+    async def metrics(self) -> str:
+        return await self.request("GET", "/metrics")
+
+    async def list_sessions(self) -> list[str]:
+        return (await self.request("GET", "/sessions"))["sessions"]
+
+    async def create_session(self, **spec: Any) -> dict[str, Any]:
+        return await self.request("POST", "/sessions", spec)
+
+    async def status(self, session_id: str) -> dict[str, Any]:
+        return await self.request("GET", f"/sessions/{session_id}")
+
+    async def ask(self, session_id: str, n: int = 1) -> list[Suggestion]:
+        data = await self.request("POST", f"/sessions/{session_id}/ask", {"n": n})
+        return [Suggestion.from_dict(s) for s in data["suggestions"]]
+
+    async def tell(self, session_id: str, report: TrialReport) -> dict[str, Any]:
+        return await self.request("POST", f"/sessions/{session_id}/tell", report.to_dict())
+
+    async def tell_reliably(
+        self,
+        session_id: str,
+        report: TrialReport,
+        retries: int = 20,
+        delay_s: float = 0.1,
+    ) -> dict[str, Any]:
+        """At-least-once tell with journal-side dedup = exactly-once record.
+
+        Requires ``report.report_id``; retries connection-level failures
+        (server down / restarting) with backoff until the report is acked.
+        """
+        if report.report_id is None:
+            raise WireError("tell_reliably needs a report with a report_id")
+        last: Exception | None = None
+        for attempt in range(retries + 1):
+            try:
+                return await self.tell(session_id, report)
+            except (ConnectionError, OSError, asyncio.TimeoutError) as err:
+                last = err
+                await asyncio.sleep(min(delay_s * (1.5**attempt), 2.0))
+        raise ServiceError(503, f"tell not acknowledged after {retries + 1} attempts: {last}")
+
+    async def step(self, session_id: str, n: int = 1) -> dict[str, Any]:
+        return await self.request("POST", f"/sessions/{session_id}/step", {"n": n})
+
+    async def complete(self, session_id: str) -> dict[str, Any]:
+        return await self.request("POST", f"/sessions/{session_id}/complete")
+
+    # -- convenience --------------------------------------------------------
+    async def run_session(
+        self,
+        session_id: str,
+        evaluate,
+        batch: int = 1,
+        report_prefix: str | None = None,
+    ) -> dict[str, Any]:
+        """Drive one session's full ask/evaluate/tell loop from the client.
+
+        ``evaluate(config_dict) -> metrics dict`` runs locally. Reports use
+        deterministic ids (``{prefix}-{ask_id}``) so the loop survives
+        server restarts mid-campaign without duplicating trials.
+        """
+        prefix = report_prefix or session_id
+        while True:
+            try:
+                status = await self.status(session_id)
+                if status["complete"]:
+                    return status
+                want = min(batch, status["max_trials"] - status["n_trials"])
+                suggestions = await self.ask(session_id, n=want)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                # Server down or restarting: durable sessions make waiting
+                # out the outage the whole recovery protocol.
+                await asyncio.sleep(0.2)
+                continue
+            except ServiceError as err:
+                if err.status == 400:  # completed concurrently
+                    return await self.status(session_id)
+                raise
+            for suggestion in suggestions:
+                metrics = evaluate(suggestion.config)
+                report = TrialReport(
+                    config=suggestion.config,
+                    metrics=metrics,
+                    ask_id=suggestion.ask_id,
+                    report_id=f"{prefix}-{suggestion.ask_id}",
+                )
+                await self.tell_reliably(session_id, report)

@@ -1,0 +1,266 @@
+"""Route logic: the service API over one ``SessionManager``.
+
+``ServiceHandlers`` owns everything the HTTP layer should not know about:
+
+* the :class:`~repro.core.manager.SessionManager` (and through it the
+  durable :class:`~repro.core.journal.TrialStore`);
+* the table of *hosted* sessions — live ``TuningSession`` objects keyed by
+  id, each guarded by an asyncio lock so interleaved ask/tell requests for
+  one session serialise while different sessions proceed concurrently;
+* **lazy resume**: a request touching a session this process has never
+  seen falls back to ``SessionManager.resume`` — this is the whole
+  crash-recovery story from the client's point of view, a restarted
+  server just works;
+* one shared :class:`~repro.execution.ThreadedExecutor` reused by every
+  session's server-side ``/step`` evaluation (pool reuse per service, not
+  per session);
+* the per-service :class:`~repro.telemetry.MetricsRegistry` behind
+  ``GET /metrics``.
+
+Blocking work (store fsyncs, SQLite commits, optimizer fits, simulated
+benchmarks) runs in worker threads via ``asyncio.to_thread`` so the event
+loop keeps serving other sessions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..core.journal import StorageError
+from ..core.manager import SessionManager
+from ..core.session import Evaluator, TuningSession
+from ..exceptions import OptimizerError, ReproError
+from ..space.serialize import space_from_dict
+from ..telemetry.metrics import MetricsRegistry
+from .wire import (
+    CreateSessionRequest,
+    WireError,
+    parse_suggest_request,
+    parse_trial_report,
+)
+
+__all__ = ["ServiceHandlers", "NotFoundError"]
+
+
+class NotFoundError(ReproError):
+    """Unknown session or route (maps to HTTP 404)."""
+
+
+@dataclass
+class _Hosted:
+    session: TuningSession
+    lock: asyncio.Lock
+    evaluator: Evaluator | None = None
+
+
+class ServiceHandlers:
+    def __init__(
+        self,
+        manager: SessionManager,
+        metrics: MetricsRegistry | None = None,
+        step_workers: int = 4,
+    ) -> None:
+        self.manager = manager
+        self.metrics = metrics or MetricsRegistry()
+        self.step_workers = int(step_workers)
+        self._hosted: dict[str, _Hosted] = {}
+        self._admission = asyncio.Lock()  # guards the hosted table, not sessions
+        self._executor = None  # shared ThreadedExecutor, built on first /step
+
+    # -- hosting ------------------------------------------------------------
+    async def _host(self, session_id: str) -> _Hosted:
+        """Return the live session, lazily resuming it from the store."""
+        entry = self._hosted.get(session_id)
+        if entry is not None:
+            return entry
+        async with self._admission:
+            entry = self._hosted.get(session_id)
+            if entry is not None:
+                return entry
+            try:
+                session = await asyncio.to_thread(self.manager.resume, session_id)
+            except StorageError as err:
+                raise NotFoundError(str(err)) from err
+            evaluator = self._target_evaluator(self.manager.meta(session_id).extra)
+            entry = _Hosted(session=session, lock=asyncio.Lock(), evaluator=evaluator)
+            self._hosted[session_id] = entry
+            self.metrics.inc("service.sessions.resumed")
+            self.metrics.set_gauge("service.sessions.hosted", len(self._hosted))
+            return entry
+
+    @staticmethod
+    def _target_evaluator(extra: Mapping[str, Any]) -> Evaluator | None:
+        spec = extra.get("target")
+        if not spec:
+            return None
+        from ..targets import target_spec  # deferred: service core stays sysim-free
+
+        evaluator, _space, _objective = target_spec(spec)
+        return evaluator
+
+    def _shared_executor(self):
+        if self._executor is None:
+            from ..execution import ThreadedExecutor
+
+            self._executor = ThreadedExecutor(max_workers=self.step_workers)
+        return self._executor
+
+    # -- endpoints ----------------------------------------------------------
+    async def health(self) -> dict[str, Any]:
+        return {"ok": True, "sessions_hosted": len(self._hosted)}
+
+    async def metrics_text(self) -> str:
+        return self.metrics.to_prometheus()
+
+    async def list_sessions(self) -> dict[str, Any]:
+        ids = await asyncio.to_thread(self.manager.list_sessions)
+        return {"sessions": ids}
+
+    async def create_session(self, body: Mapping[str, Any]) -> dict[str, Any]:
+        req = CreateSessionRequest.from_dict(body)
+        if req.session_id and req.resume and await asyncio.to_thread(self.manager.exists, req.session_id):
+            entry = await self._host(req.session_id)
+            return {
+                "session_id": req.session_id,
+                "resumed": True,
+                "n_trials": len(entry.session.optimizer.history),
+            }
+
+        evaluator = None
+        objectives = list(req.objectives)
+        if req.target is not None:
+            from ..targets import target_spec
+
+            evaluator, space, objective = target_spec(req.target)
+            if not objectives:
+                objectives = [{"name": objective.name, "minimize": objective.minimize}]
+        else:
+            space = space_from_dict(req.space)
+        try:
+            session = await asyncio.to_thread(
+                lambda: self.manager.create(
+                    space,
+                    optimizer=req.optimizer,
+                    objectives=objectives or None,
+                    max_trials=req.max_trials,
+                    max_cost=req.max_cost,
+                    seed=req.seed,
+                    optimizer_options=req.optimizer_options,
+                    session_id=req.session_id,
+                    evaluator=evaluator,
+                    extra={"target": req.target} if req.target is not None else {},
+                )
+            )
+        except StorageError as err:
+            raise WireError(str(err)) from err
+        async with self._admission:
+            self._hosted[session.session_id] = _Hosted(
+                session=session, lock=asyncio.Lock(), evaluator=evaluator
+            )
+            self.metrics.set_gauge("service.sessions.hosted", len(self._hosted))
+        self.metrics.inc("service.sessions.created")
+        return {"session_id": session.session_id, "resumed": False, "n_trials": 0}
+
+    async def status(self, session_id: str) -> dict[str, Any]:
+        try:
+            return await asyncio.to_thread(self.manager.status, session_id)
+        except StorageError as err:
+            raise NotFoundError(str(err)) from err
+
+    async def ask(self, session_id: str, body: Mapping[str, Any]) -> dict[str, Any]:
+        request = parse_suggest_request(body)
+        entry = await self._host(session_id)
+        async with entry.lock:
+            try:
+                suggestions = await asyncio.to_thread(entry.session.ask, request)
+            except OptimizerError as err:
+                raise WireError(str(err)) from err
+        self.metrics.inc("service.asks", len(suggestions))
+        self.metrics.observe("suggest.seconds", entry.session.last_suggest_latency_s)
+        return {
+            "session_id": session_id,
+            "suggestions": [s.to_dict() for s in suggestions],
+        }
+
+    async def tell(self, session_id: str, body: Mapping[str, Any]) -> dict[str, Any]:
+        report = parse_trial_report(body)
+        entry = await self._host(session_id)
+        async with entry.lock:
+            trial, duplicate = await asyncio.to_thread(entry.session.tell, report)
+            complete = entry.session.is_complete
+            if complete and not duplicate:
+                await asyncio.to_thread(self.manager.complete, session_id)
+        self.metrics.inc("service.trials.duplicates" if duplicate else "service.trials.total")
+        return {
+            "session_id": session_id,
+            "trial_id": trial.trial_id,
+            "duplicate": duplicate,
+            "status": trial.status.value,
+            "complete": complete,
+        }
+
+    async def step(self, session_id: str, body: Mapping[str, Any]) -> dict[str, Any]:
+        """Server-side closed loop: evaluate the next ``n`` trials here.
+
+        Only sessions created with a ``target`` spec (registered simulated
+        system) can step — client-defined spaces have no server-side
+        evaluator. Evaluations share the service-wide thread pool.
+        """
+        n = int(body.get("n", 1))
+        if n < 1:
+            raise WireError(f"step n must be >= 1, got {n}")
+        entry = await self._host(session_id)
+        if entry.evaluator is None:
+            raise WireError(
+                f"session {session_id!r} has no server-side evaluator (created "
+                "without a 'target' spec); drive it via /ask and /tell"
+            )
+        executor = self._shared_executor()
+
+        def _run_steps() -> list[int]:
+            session = entry.session
+            want = min(n, session.max_trials - len(session.optimizer.history))
+            if want <= 0:
+                raise OptimizerError(f"session {session_id!r} is complete")
+            configs = session.optimizer.suggest(want)
+            done = []
+            results = executor.map(entry.evaluator, configs)
+            try:
+                for execution in results:
+                    trial = session._observe_execution(execution)
+                    done.append(trial.trial_id)
+            finally:
+                close = getattr(results, "close", None)
+                if close is not None:
+                    close()
+            return done
+
+        async with entry.lock:
+            try:
+                trial_ids = await asyncio.to_thread(_run_steps)
+            except OptimizerError as err:
+                raise WireError(str(err)) from err
+            complete = entry.session.is_complete
+            if complete:
+                await asyncio.to_thread(self.manager.complete, session_id)
+        self.metrics.inc("service.trials.total", len(trial_ids))
+        self.metrics.inc("service.steps", len(trial_ids))
+        return {"session_id": session_id, "trial_ids": trial_ids, "complete": complete}
+
+    async def complete(self, session_id: str) -> dict[str, Any]:
+        try:
+            await asyncio.to_thread(self.manager.complete, session_id)
+        except StorageError as err:
+            raise NotFoundError(str(err)) from err
+        return {"session_id": session_id, "status": "completed"}
+
+    # -- lifecycle ----------------------------------------------------------
+    async def close(self) -> None:
+        """Release the evaluation pool and the store."""
+        if self._executor is not None:
+            await asyncio.to_thread(self._executor.shutdown)
+            self._executor = None
+        self._hosted.clear()
+        await asyncio.to_thread(self.manager.close)

@@ -1,0 +1,270 @@
+"""A stdlib-only asyncio HTTP/1.1 server for the tuning service.
+
+No web framework: ``asyncio.start_server`` plus a small, strict HTTP/1.1
+request parser (request line, headers, ``Content-Length`` bodies,
+keep-alive). That keeps the service inside the repository's
+no-new-dependencies rule while still hosting hundreds of concurrent
+connections — each connection is one asyncio task, and all blocking work
+is delegated to threads by :class:`~repro.service.handlers.ServiceHandlers`.
+
+Durability note: the server itself holds **no** tuning state. Sessions
+live in the :class:`~repro.core.journal.TrialStore`; killing the process
+at any point and starting a new server over the same store resumes every
+session on first touch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import time
+from typing import Any, Awaitable, Callable
+
+from ..core.journal import StorageError
+from ..exceptions import ReproError
+from .handlers import NotFoundError, ServiceHandlers
+from .wire import WireError, dump_json, error_body, parse_json_body
+
+__all__ = ["TuningServer", "serve"]
+
+_MAX_HEADER_LINE = 16 * 1024
+_MAX_BODY = 16 * 1024 * 1024
+_SESSION_PATH = re.compile(r"^/sessions/([A-Za-z0-9._-]+)(?:/([a-z]+))?$")
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class TuningServer:
+    """The asyncio tuning service bound to one handlers instance.
+
+    Usage::
+
+        server = TuningServer(handlers, host="127.0.0.1", port=0)
+        await server.start()          # server.port holds the bound port
+        ...
+        await server.stop()           # graceful: drains, closes the store
+    """
+
+    def __init__(
+        self,
+        handlers: ServiceHandlers,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+    ) -> None:
+        self.handlers = handlers
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> "TuningServer":
+        if self._server is not None:
+            raise ReproError("server already started")
+        self._server = await asyncio.start_server(self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self, close_handlers: bool = True) -> None:
+        """Stop accepting, close connections; optionally release resources.
+
+        ``close_handlers=False`` leaves the store open — used by tests that
+        restart a server over the same live store object.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if close_handlers:
+            await self.handlers.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- connection handling -------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                t0 = time.perf_counter()
+                status, payload, content_type = await self._dispatch(method, path, body)
+                self.handlers.metrics.inc("service.requests.total")
+                if status >= 400:
+                    self.handlers.metrics.inc("service.requests.errors")
+                self.handlers.metrics.observe("request.seconds", time.perf_counter() - t0)
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                await self._write_response(writer, status, payload, content_type, keep_alive)
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-request; nothing to answer
+        except _HttpError as err:
+            # Malformed framing: answer if the transport still works, then drop.
+            try:
+                await self._write_response(
+                    writer, err.status, error_body(err.status, str(err)), "application/json", False
+                )
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        try:
+            request_line = await reader.readline()
+        except (ValueError, ConnectionResetError):
+            raise _HttpError(400, "request line too long") from None
+        if not request_line or request_line in (b"\r\n", b"\n"):
+            return None
+        try:
+            method, target, _version = request_line.decode("latin-1").split()
+        except ValueError:
+            raise _HttpError(400, f"malformed request line {request_line!r}") from None
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if len(line) > _MAX_HEADER_LINE:
+                raise _HttpError(400, "header line too long")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _HttpError(400, f"malformed header line {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _HttpError(400, f"bad Content-Length {length_text!r}") from None
+        if length > _MAX_BODY:
+            raise _HttpError(413, f"body of {length} bytes exceeds limit {_MAX_BODY}")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: bytes,
+        content_type: str,
+        keep_alive: bool,
+    ) -> None:
+        reason = _STATUS_TEXT.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+    # -- routing ------------------------------------------------------------
+    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, bytes, str]:
+        try:
+            return await self._route(method, path, body)
+        except WireError as err:
+            return 400, error_body(400, str(err)), "application/json"
+        except NotFoundError as err:
+            return 404, error_body(404, str(err)), "application/json"
+        except StorageError as err:
+            return 409, error_body(409, str(err)), "application/json"
+        except Exception as err:  # noqa: BLE001 - the server must not die with a connection
+            self.handlers.metrics.inc("service.requests.crashed")
+            return 500, error_body(500, f"{type(err).__name__}: {err}"), "application/json"
+
+    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, bytes, str]:
+        path = path.split("?", 1)[0]
+        if path == "/healthz" and method == "GET":
+            return 200, dump_json(await self.handlers.health()), "application/json"
+        if path == "/metrics" and method == "GET":
+            text = await self.handlers.metrics_text()
+            return 200, text.encode("utf-8"), "text/plain; version=0.0.4"
+        if path == "/sessions":
+            if method == "GET":
+                return 200, dump_json(await self.handlers.list_sessions()), "application/json"
+            if method == "POST":
+                payload = await self.handlers.create_session(parse_json_body(body))
+                return 200, dump_json(payload), "application/json"
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        match = _SESSION_PATH.match(path)
+        if match:
+            session_id, action = match.group(1), match.group(2)
+            if action is None:
+                if method != "GET":
+                    raise _HttpError(405, f"{method} not allowed on {path}")
+                return 200, dump_json(await self.handlers.status(session_id)), "application/json"
+            if method != "POST":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            handler: Callable[[str, dict[str, Any]], Awaitable[dict[str, Any]]] | None = {
+                "ask": self.handlers.ask,
+                "tell": self.handlers.tell,
+                "step": self.handlers.step,
+            }.get(action)
+            if handler is not None:
+                return 200, dump_json(await handler(session_id, parse_json_body(body))), "application/json"
+            if action == "complete":
+                return 200, dump_json(await self.handlers.complete(session_id)), "application/json"
+        raise NotFoundError(f"no route for {method} {path}")
+
+
+async def serve(
+    store_path: str,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    backend: str | None = None,
+    step_workers: int = 4,
+    ready: Callable[["TuningServer"], None] | None = None,
+) -> None:
+    """Open the store, start a :class:`TuningServer`, and serve until cancelled.
+
+    The entry point behind ``repro serve``. ``ready`` is called with the
+    started server (after the port is bound) — the CLI uses it to print
+    the address, tests to discover an ephemeral port.
+    """
+    from ..core.manager import SessionManager
+    from ..core.stores import open_store
+
+    manager = SessionManager(open_store(store_path, backend=backend))
+    handlers = ServiceHandlers(manager, step_workers=step_workers)
+    server = TuningServer(handlers, host=host, port=port)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()

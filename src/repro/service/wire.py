@@ -1,0 +1,123 @@
+"""The service wire schema: JSON bodies ↔ the core codec dataclasses.
+
+There is deliberately no service-specific trial shape: ``/ask`` returns
+:class:`~repro.core.codec.Suggestion` payloads and ``/tell`` accepts
+:class:`~repro.core.codec.TrialReport` payloads — the very dataclasses
+:meth:`TuningSession.ask`/``tell`` use in-process, serialised by the same
+codec. This module adds only what HTTP needs on top: the create-session
+request, error envelopes, and strict JSON body parsing.
+
+Endpoints (see ``docs/service.md`` for the full contract)::
+
+    GET  /healthz                      liveness
+    GET  /metrics                      Prometheus text exposition
+    GET  /sessions                     list session ids
+    POST /sessions                     create (CreateSessionRequest)
+    GET  /sessions/{id}                status snapshot
+    POST /sessions/{id}/ask            SuggestRequest -> {suggestions: [...]}
+    POST /sessions/{id}/tell           TrialReport -> {trial_id, duplicate}
+    POST /sessions/{id}/step           server-side evaluate n trials
+    POST /sessions/{id}/complete       mark finished
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.codec import CodecError, SuggestRequest, TrialReport, json_safe
+from ..exceptions import ReproError
+
+__all__ = [
+    "WireError",
+    "CreateSessionRequest",
+    "parse_json_body",
+    "dump_json",
+    "error_body",
+    "SuggestRequest",
+    "TrialReport",
+]
+
+
+class WireError(ReproError):
+    """A malformed request body or parameter (maps to HTTP 400)."""
+
+
+def parse_json_body(body: bytes) -> dict[str, Any]:
+    """Decode a request body as a JSON object (empty body → ``{}``)."""
+    if not body:
+        return {}
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise WireError(f"request body is not valid JSON: {err}") from err
+    if not isinstance(data, dict):
+        raise WireError(f"request body must be a JSON object, got {type(data).__name__}")
+    return data
+
+
+def dump_json(payload: Any) -> bytes:
+    return json.dumps(json_safe(payload), separators=(",", ":")).encode("utf-8")
+
+
+def error_body(status: int, message: str) -> bytes:
+    return dump_json({"error": {"status": status, "message": message}})
+
+
+@dataclass(frozen=True)
+class CreateSessionRequest:
+    """Body of ``POST /sessions``.
+
+    Exactly one of ``space`` (a :func:`~repro.space.serialize.space_to_dict`
+    description — client-defined knobs) or ``target`` (a registered
+    simulated-system spec, see :mod:`repro.targets`; enables server-side
+    ``/step`` evaluation and implies the space) must be given.
+    """
+
+    optimizer: str = "random"
+    max_trials: int = 100
+    space: dict[str, Any] | None = None
+    target: dict[str, Any] | None = None
+    objectives: list[dict[str, Any]] = field(default_factory=list)
+    max_cost: float | None = None
+    seed: int | None = None
+    optimizer_options: dict[str, Any] = field(default_factory=dict)
+    session_id: str | None = None
+    resume: bool = False  # if the id already exists, resume instead of erroring
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CreateSessionRequest":
+        space = data.get("space")
+        target = data.get("target")
+        if (space is None) == (target is None):
+            raise WireError("provide exactly one of 'space' or 'target'")
+        try:
+            return cls(
+                optimizer=str(data.get("optimizer", "random")),
+                max_trials=int(data.get("max_trials", 100)),
+                space=None if space is None else dict(space),
+                target=None if target is None else dict(target),
+                objectives=[dict(o) for o in data.get("objectives", [])],
+                max_cost=None if data.get("max_cost") is None else float(data["max_cost"]),
+                seed=None if data.get("seed") is None else int(data["seed"]),
+                optimizer_options=dict(data.get("optimizer_options", {})),
+                session_id=None if data.get("session_id") is None else str(data["session_id"]),
+                resume=bool(data.get("resume", False)),
+            )
+        except (TypeError, ValueError) as err:
+            raise WireError(f"malformed create-session request: {err}") from err
+
+
+def parse_suggest_request(data: Mapping[str, Any]) -> SuggestRequest:
+    try:
+        return SuggestRequest.from_dict(data)
+    except CodecError as err:
+        raise WireError(str(err)) from err
+
+
+def parse_trial_report(data: Mapping[str, Any]) -> TrialReport:
+    try:
+        return TrialReport.from_dict(data)
+    except CodecError as err:
+        raise WireError(str(err)) from err

@@ -1,0 +1,265 @@
+"""Configuration-space ↔ dict codec for durable sessions and the wire.
+
+A tuning service that promises ``resume(session_id)`` after a process
+restart must be able to rebuild the session's :class:`ConfigurationSpace`
+from storage alone, and an HTTP client must be able to *define* a space in
+a request body. This module provides both directions:
+
+* :func:`space_to_dict` — JSON-safe description of parameters, conditions,
+  and (declarative) priors;
+* :func:`space_from_dict` — rebuild the space, validating every field.
+
+What round-trips: Float/Integer/Categorical/Boolean parameters (bounds,
+defaults, log scale, quantization, weights), Uniform/Normal/Beta/Histogram
+priors, and Equals/In/GreaterThan/LessThan conditions. What cannot:
+``CallableCondition``, ``CallableConstraint``, and friends hold arbitrary
+Python callables — with ``strict=True`` (the default) serialising a space
+containing one raises :class:`SpaceCodecError`; with ``strict=False`` they
+are dropped and listed under ``"dropped"`` in the output so the caller can
+surface the loss.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..exceptions import SpaceError
+from .conditions import (
+    Condition,
+    EqualsCondition,
+    GreaterThanCondition,
+    InCondition,
+    LessThanCondition,
+)
+from .params import (
+    BooleanParameter,
+    CategoricalParameter,
+    FloatParameter,
+    IntegerParameter,
+    Parameter,
+)
+from .priors import BetaPrior, HistogramPrior, NormalPrior, Prior, UniformPrior
+from .space import ConfigurationSpace
+
+__all__ = ["SpaceCodecError", "space_to_dict", "space_from_dict"]
+
+SPACE_FORMAT_VERSION = 1
+
+
+class SpaceCodecError(SpaceError):
+    """A space (or space description) could not be (de)serialised."""
+
+
+# -- priors ------------------------------------------------------------------
+
+def _prior_to_dict(prior: Prior) -> dict[str, Any] | None:
+    if isinstance(prior, UniformPrior):
+        return None  # the default; omit for compactness
+    if isinstance(prior, NormalPrior):
+        return {"kind": "normal", "mean": prior.mean, "std": prior.std}
+    if isinstance(prior, BetaPrior):
+        return {"kind": "beta", "a": prior.a, "b": prior.b}
+    if isinstance(prior, HistogramPrior):
+        return {"kind": "histogram", "bin_weights": [float(w) for w in prior.bin_weights]}
+    raise SpaceCodecError(f"prior {type(prior).__name__} is not serialisable")
+
+
+def _prior_from_dict(data: Mapping[str, Any] | None) -> Prior | None:
+    if data is None:
+        return None
+    kind = data.get("kind")
+    try:
+        if kind == "normal":
+            return NormalPrior(float(data["mean"]), float(data["std"]))
+        if kind == "beta":
+            return BetaPrior(float(data["a"]), float(data["b"]))
+        if kind == "histogram":
+            return HistogramPrior([float(w) for w in data["bin_weights"]])
+    except (KeyError, TypeError, ValueError) as err:
+        raise SpaceCodecError(f"malformed prior {data!r}: {err}") from err
+    raise SpaceCodecError(f"unknown prior kind {kind!r}")
+
+
+# -- parameters --------------------------------------------------------------
+
+def _param_to_dict(param: Parameter) -> dict[str, Any]:
+    # BooleanParameter subclasses CategoricalParameter: test it first.
+    if isinstance(param, BooleanParameter):
+        return {"type": "bool", "name": param.name, "default": bool(param.default)}
+    if isinstance(param, CategoricalParameter):
+        out: dict[str, Any] = {
+            "type": "categorical",
+            "name": param.name,
+            "choices": list(param.choices),
+            "default": param.default,
+        }
+        weights = [float(w) for w in param.weights]
+        if len(set(weights)) > 1:
+            out["weights"] = weights
+        return out
+    if isinstance(param, IntegerParameter):
+        out = {
+            "type": "int",
+            "name": param.name,
+            "lower": int(param.lower),
+            "upper": int(param.upper),
+            "default": int(param.default),
+            "log": bool(param.log),
+        }
+        prior = _prior_to_dict(param.prior)
+        if prior is not None:
+            out["prior"] = prior
+        return out
+    if isinstance(param, FloatParameter):
+        out = {
+            "type": "float",
+            "name": param.name,
+            "lower": float(param.lower),
+            "upper": float(param.upper),
+            "default": float(param.default),
+            "log": bool(param.log),
+        }
+        if param.quantization is not None:
+            out["quantization"] = float(param.quantization)
+        prior = _prior_to_dict(param.prior)
+        if prior is not None:
+            out["prior"] = prior
+        return out
+    raise SpaceCodecError(f"parameter {type(param).__name__} is not serialisable")
+
+
+def _param_from_dict(data: Mapping[str, Any]) -> Parameter:
+    kind = data.get("type")
+    try:
+        name = str(data["name"])
+        if kind == "bool":
+            return BooleanParameter(name, default=bool(data.get("default", False)))
+        if kind == "categorical":
+            return CategoricalParameter(
+                name,
+                list(data["choices"]),
+                default=data.get("default"),
+                weights=data.get("weights"),
+            )
+        if kind == "int":
+            return IntegerParameter(
+                name,
+                int(data["lower"]),
+                int(data["upper"]),
+                default=None if data.get("default") is None else int(data["default"]),
+                log=bool(data.get("log", False)),
+                prior=_prior_from_dict(data.get("prior")),
+            )
+        if kind == "float":
+            return FloatParameter(
+                name,
+                float(data["lower"]),
+                float(data["upper"]),
+                default=None if data.get("default") is None else float(data["default"]),
+                log=bool(data.get("log", False)),
+                quantization=None if data.get("quantization") is None else float(data["quantization"]),
+                prior=_prior_from_dict(data.get("prior")),
+            )
+    except SpaceCodecError:
+        raise
+    except (KeyError, TypeError, ValueError) as err:
+        raise SpaceCodecError(f"malformed parameter {data!r}: {err}") from err
+    raise SpaceCodecError(f"unknown parameter type {kind!r} in {data!r}")
+
+
+# -- conditions --------------------------------------------------------------
+
+_CONDITION_KINDS = {
+    EqualsCondition: "equals",
+    InCondition: "in",
+    GreaterThanCondition: "gt",
+    LessThanCondition: "lt",
+}
+
+
+def _condition_to_dict(cond: Condition) -> dict[str, Any] | None:
+    kind = _CONDITION_KINDS.get(type(cond))
+    if kind is None:
+        return None
+    out = {"kind": kind, "child": cond.child, "parent": cond.parent}
+    if isinstance(cond, EqualsCondition):
+        out["value"] = cond.value
+    elif isinstance(cond, InCondition):
+        out["values"] = sorted(cond.values, key=repr)
+    elif isinstance(cond, (GreaterThanCondition, LessThanCondition)):
+        out["threshold"] = cond.threshold
+    return out
+
+
+def _condition_from_dict(data: Mapping[str, Any]) -> Condition:
+    kind = data.get("kind")
+    try:
+        child, parent = str(data["child"]), str(data["parent"])
+        if kind == "equals":
+            return EqualsCondition(child, parent, data["value"])
+        if kind == "in":
+            return InCondition(child, parent, list(data["values"]))
+        if kind == "gt":
+            return GreaterThanCondition(child, parent, float(data["threshold"]))
+        if kind == "lt":
+            return LessThanCondition(child, parent, float(data["threshold"]))
+    except (KeyError, TypeError, ValueError) as err:
+        raise SpaceCodecError(f"malformed condition {data!r}: {err}") from err
+    raise SpaceCodecError(f"unknown condition kind {kind!r} in {data!r}")
+
+
+# -- the space ---------------------------------------------------------------
+
+def space_to_dict(space: ConfigurationSpace, strict: bool = True) -> dict[str, Any]:
+    """JSON-safe description of ``space``.
+
+    With ``strict=True`` an unserialisable member (callable condition or
+    any hard constraint) raises; with ``strict=False`` it is skipped and
+    named in the ``"dropped"`` list of the result.
+    """
+    dropped: list[str] = []
+    params = [_param_to_dict(p) for p in space.parameters]
+    conditions = []
+    for cond in space.conditions:
+        encoded = _condition_to_dict(cond)
+        if encoded is None:
+            if strict:
+                raise SpaceCodecError(
+                    f"condition {cond!r} holds an arbitrary callable and cannot be "
+                    "serialised; use strict=False to drop it"
+                )
+            dropped.append(repr(cond))
+        else:
+            conditions.append(encoded)
+    for constraint in space.constraints:
+        if strict:
+            raise SpaceCodecError(
+                f"constraint {constraint!r} cannot be serialised (constraints are "
+                "arbitrary callables); use strict=False to drop it"
+            )
+        dropped.append(repr(constraint))
+    out: dict[str, Any] = {
+        "version": SPACE_FORMAT_VERSION,
+        "name": str(space.name),
+        "parameters": params,
+        "conditions": conditions,
+    }
+    if dropped:
+        out["dropped"] = dropped
+    return out
+
+
+def space_from_dict(data: Mapping[str, Any]) -> ConfigurationSpace:
+    """Rebuild a configuration space written by :func:`space_to_dict`."""
+    version = data.get("version", SPACE_FORMAT_VERSION)
+    if version != SPACE_FORMAT_VERSION:
+        raise SpaceCodecError(f"unsupported space-format version {version!r}")
+    params = data.get("parameters")
+    if not params:
+        raise SpaceCodecError("space description has no parameters")
+    space = ConfigurationSpace(str(data.get("name", "space")))
+    for p in params:
+        space.add(_param_from_dict(p))
+    for c in data.get("conditions", ()):
+        space.add_condition(_condition_from_dict(c))
+    return space

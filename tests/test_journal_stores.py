@@ -1,0 +1,344 @@
+"""TrialStore contract tests across every backend, plus crash recovery
+and legacy-file migration."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.journal import (
+    AppendResult,
+    SessionMeta,
+    StorageError,
+    import_legacy_trials,
+    new_session_id,
+)
+from repro.core.storage import load_trials, save_trials
+from repro.core.stores import (
+    JsonJournalStore,
+    MemoryTrialStore,
+    SqliteTrialStore,
+    open_store,
+)
+
+BACKENDS = ("memory", "json", "sqlite")
+
+
+def make_store(backend: str, tmp_path: Path):
+    if backend == "memory":
+        return MemoryTrialStore()
+    if backend == "json":
+        return JsonJournalStore(tmp_path / "journal")
+    return SqliteTrialStore(tmp_path / "trials.sqlite")
+
+
+def simple_meta(session_id: str = "s1", **overrides) -> SessionMeta:
+    base = dict(
+        session_id=session_id,
+        space={
+            "version": 1,
+            "name": "t",
+            "parameters": [
+                {"type": "float", "name": "x", "lower": 0.0, "upper": 1.0, "default": 0.5}
+            ],
+            "conditions": [],
+        },
+        optimizer={"name": "random", "seed": 0, "options": {}},
+        objectives=[{"name": "score", "minimize": True}],
+        max_trials=10,
+    )
+    base.update(overrides)
+    return SessionMeta(**base)
+
+
+def record(i: int, report_id: str | None = None) -> dict:
+    rec = {
+        "version": 2,
+        "trial_id": 999,  # stores must overwrite this with the journal position
+        "config": {"x": 0.1 * i},
+        "status": "succeeded",
+        "metrics": {"score": float(i)},
+        "cost": 1.0,
+        "fidelity": None,
+        "context": {},
+    }
+    if report_id is not None:
+        rec["report_id"] = report_id
+    return rec
+
+
+@pytest.fixture(params=BACKENDS)
+def store(request, tmp_path):
+    s = make_store(request.param, tmp_path)
+    yield s
+    s.close()
+
+
+class TestContract:
+    def test_session_lifecycle(self, store):
+        assert store.get_session("s1") is None
+        assert store.list_sessions() == []
+        store.create_session(simple_meta("s1"))
+        store.create_session(simple_meta("s2", max_trials=5))
+        assert store.list_sessions() == ["s1", "s2"]
+        meta = store.get_session("s2")
+        assert meta.max_trials == 5
+        assert meta.status == "active"
+
+    def test_duplicate_session_id_rejected(self, store):
+        store.create_session(simple_meta("s1"))
+        with pytest.raises(StorageError):
+            store.create_session(simple_meta("s1"))
+
+    def test_update_session(self, store):
+        store.create_session(simple_meta("s1"))
+        store.update_session("s1", status="completed", extra={"note": "done"})
+        meta = store.get_session("s1")
+        assert meta.status == "completed"
+        assert meta.extra == {"note": "done"}
+        with pytest.raises(StorageError):
+            store.update_session("nope", status="completed")
+
+    def test_append_assigns_contiguous_ids(self, store):
+        store.create_session(simple_meta("s1"))
+        results = [store.append_trial("s1", record(i)) for i in range(5)]
+        assert [r.trial_id for r in results] == [0, 1, 2, 3, 4]
+        assert all(isinstance(r, AppendResult) and not r.duplicate for r in results)
+        loaded = store.load_trials("s1")
+        assert [r["trial_id"] for r in loaded] == [0, 1, 2, 3, 4]
+        assert store.trial_count("s1") == 5
+
+    def test_round_trip_preserves_payload(self, store):
+        store.create_session(simple_meta("s1"))
+        rec = record(3, report_id="r-3")
+        rec["metrics"]["aux"] = 2.5
+        rec["context"] = {"node": "w1"}
+        store.append_trial("s1", rec)
+        (loaded,) = store.load_trials("s1")
+        assert loaded["config"] == rec["config"]
+        assert loaded["metrics"] == {"score": 3.0, "aux": 2.5}
+        assert loaded["context"] == {"node": "w1"}
+        assert loaded["report_id"] == "r-3"
+
+    def test_report_id_dedup(self, store):
+        store.create_session(simple_meta("s1"))
+        first = store.append_trial("s1", record(0, report_id="once"))
+        again = store.append_trial("s1", record(0, report_id="once"))
+        assert not first.duplicate and again.duplicate
+        assert again.trial_id == first.trial_id
+        assert store.trial_count("s1") == 1
+        # records without a report_id are never deduplicated
+        store.append_trial("s1", record(1))
+        store.append_trial("s1", record(1))
+        assert store.trial_count("s1") == 3
+
+    def test_unknown_session_raises(self, store):
+        with pytest.raises(StorageError):
+            store.append_trial("ghost", record(0))
+        with pytest.raises(StorageError):
+            store.load_trials("ghost")
+        with pytest.raises(StorageError):
+            store.trial_count("ghost")
+
+    def test_sessions_are_isolated(self, store):
+        store.create_session(simple_meta("a"))
+        store.create_session(simple_meta("b"))
+        store.append_trial("a", record(0, report_id="r0"))
+        assert store.trial_count("a") == 1
+        assert store.trial_count("b") == 0
+        # same report_id in another session is not a duplicate
+        res = store.append_trial("b", record(0, report_id="r0"))
+        assert not res.duplicate
+
+
+class TestReopen:
+    """Durable backends must survive a close/reopen cycle."""
+
+    @pytest.mark.parametrize("backend", ["json", "sqlite"])
+    def test_reopen_sees_everything(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.create_session(simple_meta("s1"))
+        for i in range(4):
+            store.append_trial("s1", record(i, report_id=f"r-{i}"))
+        store.close()
+
+        fresh = make_store(backend, tmp_path)
+        assert fresh.list_sessions() == ["s1"]
+        assert fresh.trial_count("s1") == 4
+        # dedup state survives the reopen
+        assert fresh.append_trial("s1", record(2, report_id="r-2")).duplicate
+        # and new appends continue the id sequence
+        assert fresh.append_trial("s1", record(9)).trial_id == 4
+        fresh.close()
+
+
+class TestJsonJournalRecovery:
+    def test_torn_tail_is_discarded(self, tmp_path):
+        store = JsonJournalStore(tmp_path)
+        store.create_session(simple_meta("s1"))
+        for i in range(3):
+            store.append_trial("s1", record(i))
+        store.close()
+
+        journal = tmp_path / "s1.journal.jsonl"
+        with journal.open("a", encoding="utf-8") as fh:
+            fh.write('{"version": 2, "trial_id": 3, "config"')  # torn mid-write
+
+        fresh = JsonJournalStore(tmp_path)
+        assert fresh.trial_count("s1") == 3  # torn line dropped, prefix kept
+        assert fresh.append_trial("s1", record(3)).trial_id == 3
+        assert [r["trial_id"] for r in fresh.load_trials("s1")] == [0, 1, 2, 3]
+        fresh.close()
+
+    def test_interior_corruption_raises(self, tmp_path):
+        store = JsonJournalStore(tmp_path)
+        store.create_session(simple_meta("s1"))
+        for i in range(3):
+            store.append_trial("s1", record(i))
+        store.close()
+
+        journal = tmp_path / "s1.journal.jsonl"
+        lines = journal.read_text().splitlines(keepends=True)
+        lines[1] = "NOT JSON AT ALL\n"  # corruption before the tail
+        journal.write_text("".join(lines))
+
+        fresh = JsonJournalStore(tmp_path)
+        with pytest.raises(StorageError):
+            fresh.load_trials("s1")
+        fresh.close()
+
+
+KILL_SCRIPT = textwrap.dedent(
+    """
+    import sys
+    sys.path.insert(0, {src!r})
+    from tests.test_journal_stores import record, simple_meta
+    from repro.core.stores import open_store
+
+    store = open_store({path!r}, backend={backend!r})
+    store.create_session(simple_meta("victim"))
+    print("ready", flush=True)
+    i = 0
+    while True:  # append until killed
+        store.append_trial("victim", record(i, report_id=f"r-{{i}}"))
+        print(i, flush=True)
+        i += 1
+    """
+)
+
+
+@pytest.mark.parametrize("backend", ["json", "sqlite"])
+def test_sigkill_mid_write_recovers(backend, tmp_path):
+    """The acceptance crash test: SIGKILL a writer, reopen, nothing
+    acknowledged is lost and nothing is duplicated or corrupt."""
+    path = str(tmp_path / ("store.sqlite" if backend == "sqlite" else "store"))
+    repo_root = str(Path(__file__).resolve().parent.parent)
+    script = KILL_SCRIPT.format(src=os.path.join(repo_root, "src"), path=path, backend=backend)
+    env = dict(os.environ, PYTHONPATH=os.pathsep.join([repo_root, os.path.join(repo_root, "src")]))
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=repo_root,
+    )
+    try:
+        assert proc.stdout.readline().strip() == "ready"
+        acked = -1
+        deadline = time.monotonic() + 30
+        while acked < 20 and time.monotonic() < deadline:
+            line = proc.stdout.readline().strip()
+            if line:
+                acked = int(line)
+        assert acked >= 20, f"writer too slow (acked={acked})"
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+
+    store = open_store(path, backend=backend)
+    records = store.load_trials("victim")
+    # every acknowledged append survived, ids are the journal positions
+    assert len(records) >= acked + 1
+    assert [r["trial_id"] for r in records] == list(range(len(records)))
+    assert len({r["report_id"] for r in records}) == len(records)
+    # the store keeps working after recovery
+    assert store.append_trial("victim", record(0)).trial_id == len(records)
+    store.close()
+
+
+class TestOpenStore:
+    def test_infers_backend_from_path(self, tmp_path):
+        sqlite = open_store(tmp_path / "x.sqlite")
+        assert isinstance(sqlite, SqliteTrialStore)
+        sqlite.close()
+        journal = open_store(tmp_path / "plain-dir")
+        assert isinstance(journal, JsonJournalStore)
+        journal.close()
+
+    def test_explicit_backend_wins(self, tmp_path):
+        store = open_store(tmp_path / "odd-name", backend="sqlite")
+        assert isinstance(store, SqliteTrialStore)
+        store.close()
+
+
+class TestLegacyMigration:
+    def _legacy_file(self, tmp_path, simple_space):
+        from repro.optimizers import RandomSearchOptimizer
+
+        opt = RandomSearchOptimizer(simple_space, seed=3)
+        for config in opt.suggest(4):
+            opt.observe(config, {"score": float(config["n"])}, cost=2.0)
+        path = tmp_path / "old-run.json"
+        with pytest.deprecated_call():
+            save_trials(opt.history.trials, path)
+        return path, opt.history.trials
+
+    def test_round_trip_through_store(self, tmp_path, simple_space):
+        path, originals = self._legacy_file(tmp_path, simple_space)
+        store = MemoryTrialStore()
+        sid = import_legacy_trials(store, path, space=simple_space)
+        meta = store.get_session(sid)
+        assert meta.status == "migrated"
+        assert meta.extra["migrated_from"] == str(path)
+        migrated = store.load_trials(sid)
+        assert len(migrated) == len(originals)
+        for rec, trial in zip(migrated, originals):
+            assert rec["trial_id"] == trial.trial_id
+            assert rec["metrics"] == trial.metrics
+            assert rec["cost"] == trial.cost
+            assert dict(rec["config"]) == {k: trial.config[k] for k in trial.config}
+
+    def test_inferred_space_when_none_given(self, tmp_path, simple_space):
+        path, originals = self._legacy_file(tmp_path, simple_space)
+        store = MemoryTrialStore()
+        sid = import_legacy_trials(store, path)
+        meta = store.get_session(sid)
+        names = {p["name"] for p in meta.space["parameters"]}
+        assert names == set(simple_space.names)
+        assert store.trial_count(sid) == len(originals)
+
+    def test_deprecated_loaders_still_work(self, tmp_path, simple_space):
+        path, originals = self._legacy_file(tmp_path, simple_space)
+        with pytest.deprecated_call():
+            loaded = load_trials(path, simple_space)
+        assert [t.trial_id for t in loaded] == [t.trial_id for t in originals]
+        assert loaded[0].metrics == originals[0].metrics
+
+    def test_bad_legacy_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "trials": []}))
+        with pytest.raises(StorageError):
+            import_legacy_trials(MemoryTrialStore(), path)
+
+
+def test_new_session_id_unique():
+    ids = {new_session_id() for _ in range(100)}
+    assert len(ids) == 100

@@ -1,0 +1,274 @@
+"""SessionManager lifecycle, the unified ask/tell payloads, durable
+journaling through TuningSession, and the space codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Objective, TuningSession
+from repro.core.codec import SuggestRequest, Suggestion, TrialReport, encode_trial
+from repro.core.journal import StorageError
+from repro.core.manager import SessionManager, make_optimizer, optimizer_names
+from repro.core.stores import JsonJournalStore, MemoryTrialStore
+from repro.exceptions import OptimizerError, ReproError
+from repro.space import (
+    BetaPrior,
+    CategoricalParameter,
+    ConfigurationSpace,
+    EqualsCondition,
+    FloatParameter,
+    GreaterThanCondition,
+    InCondition,
+    IntegerParameter,
+    NormalPrior,
+    RatioConstraint,
+)
+from repro.space.serialize import SpaceCodecError, space_from_dict, space_to_dict
+
+
+def evaluate(config) -> dict[str, float]:
+    return {"score": (config["x"] - 0.3) ** 2 + 0.01 * config["n"]}
+
+
+class TestOptimizerRegistry:
+    def test_names_are_sorted_and_known(self):
+        names = optimizer_names()
+        assert names == sorted(names)
+        assert {"random", "bo", "smac", "grid"} <= set(names)
+
+    def test_make_optimizer(self, simple_space):
+        opt = make_optimizer("random", simple_space, Objective("score"), seed=1)
+        assert len(opt.suggest(2)) == 2
+
+    def test_unknown_name_and_bad_options(self, simple_space):
+        with pytest.raises(ReproError, match="unknown optimizer"):
+            make_optimizer("nope", simple_space, Objective("score"))
+        with pytest.raises(ReproError, match="bad options"):
+            make_optimizer("random", simple_space, Objective("score"), options={"bogus_kw": 1})
+
+
+class TestAskTell:
+    def test_unified_payloads(self, simple_space):
+        manager = SessionManager()
+        session = manager.create(simple_space, optimizer="random", seed=0, max_trials=5)
+        suggestions = session.ask(SuggestRequest(n=2))
+        assert all(isinstance(s, Suggestion) for s in suggestions)
+        assert [s.ask_id for s in suggestions] == [0, 1]
+        # ask() also takes a bare int, wrapping it in the same request type
+        assert len(session.ask(1)) == 1
+
+        trial, duplicate = session.tell(
+            TrialReport(config=suggestions[0].config, metrics={"score": 1.0},
+                        ask_id=suggestions[0].ask_id)
+        )
+        assert not duplicate
+        assert trial.trial_id == 0
+        assert trial.metric("score") == 1.0
+
+    def test_tell_accepts_wire_dict(self, simple_space):
+        manager = SessionManager()
+        session = manager.create(simple_space, optimizer="random", seed=0, max_trials=5)
+        (s,) = session.ask(1)
+        # the HTTP body shape and the in-process dataclass are the same schema
+        trial, _ = session.tell({"config": dict(s.config), "metrics": {"score": 2.0}})
+        assert trial.metric("score") == 2.0
+
+    def test_tell_dedup_by_report_id(self, simple_space):
+        manager = SessionManager()
+        session = manager.create(simple_space, optimizer="random", seed=0, max_trials=5)
+        (s,) = session.ask(1)
+        report = TrialReport(config=s.config, metrics={"score": 1.0}, report_id="r1")
+        first, dup1 = session.tell(report)
+        second, dup2 = session.tell(report)
+        assert (dup1, dup2) == (False, True)
+        assert second.trial_id == first.trial_id
+        assert len(session.optimizer.history) == 1
+
+    def test_ask_respects_budget(self, simple_space):
+        manager = SessionManager()
+        session = manager.create(simple_space, optimizer="random", seed=0, max_trials=2)
+        suggestions = session.ask(SuggestRequest(n=10))
+        assert len(suggestions) == 2  # capped to remaining budget
+        for s in suggestions:
+            session.tell(TrialReport(config=s.config, metrics={"score": 0.0}))
+        assert session.is_complete
+        with pytest.raises(OptimizerError):
+            session.ask(1)
+
+    def test_failed_trial_report(self, simple_space):
+        manager = SessionManager()
+        session = manager.create(simple_space, optimizer="random", seed=0, max_trials=5)
+        (s,) = session.ask(1)
+        trial, _ = session.tell(
+            TrialReport(config=s.config, status="failed", context={"error": "oom"})
+        )
+        assert trial.status.value == "failed"
+
+
+class TestDurability:
+    def test_tells_are_journaled(self, simple_space, tmp_path):
+        store = JsonJournalStore(tmp_path)
+        manager = SessionManager(store)
+        session = manager.create(simple_space, optimizer="random", seed=0,
+                                 max_trials=4, session_id="s1")
+        for s in session.ask(SuggestRequest(n=3)):
+            session.tell(TrialReport(config=s.config, metrics=evaluate(s.config),
+                                     report_id=f"r-{s.ask_id}"))
+        records = store.load_trials("s1")
+        assert [r["trial_id"] for r in records] == [0, 1, 2]
+        assert [r["report_id"] for r in records] == ["r-0", "r-1", "r-2"]
+
+    def test_run_journals_closed_loop(self, simple_space, tmp_path):
+        store = JsonJournalStore(tmp_path)
+        manager = SessionManager(store)
+        session = manager.create(simple_space, optimizer="random", seed=0,
+                                 max_trials=5, session_id="s1", evaluator=evaluate)
+        result = session.run()
+        assert result.n_trials == 5
+        assert store.trial_count("s1") == 5
+
+    def test_resume_replays_exact_history(self, simple_space, tmp_path):
+        store = JsonJournalStore(tmp_path)
+        with SessionManager(store) as manager:
+            session = manager.create(simple_space, optimizer="random", seed=7,
+                                     max_trials=10, session_id="s1")
+            told = []
+            for s in session.ask(SuggestRequest(n=4)):
+                trial, _ = session.tell(
+                    TrialReport(config=s.config, metrics=evaluate(s.config),
+                                cost=2.0, report_id=f"r-{s.ask_id}")
+                )
+                told.append(trial)
+
+            fresh = SessionManager(store)  # same store object: still open
+            resumed = fresh.resume("s1")
+            history = resumed.optimizer.history.trials
+            assert len(history) == 4
+            for old, new in zip(told, history):
+                assert new.trial_id == old.trial_id
+                assert new.metrics == old.metrics
+                assert new.cost == old.cost
+                assert {k: new.config[k] for k in new.config} == {
+                    k: old.config[k] for k in old.config
+                }
+            # dedup state came back too: a retried tell is recognised
+            replayed, dup = resumed.tell(
+                TrialReport(config=told[0].config, metrics=told[0].metrics,
+                            report_id="r-0")
+            )
+            assert dup and replayed.trial_id == told[0].trial_id
+            # and new work continues the id sequence
+            (s,) = resumed.ask(1)
+            trial, _ = resumed.tell(TrialReport(config=s.config, metrics=evaluate(s.config)))
+            assert trial.trial_id == 4
+
+    def test_resume_unknown_session(self):
+        with pytest.raises(StorageError):
+            SessionManager().resume("ghost")
+
+    def test_status_snapshot(self, simple_space):
+        manager = SessionManager()
+        session = manager.create(simple_space, optimizer="random", seed=0,
+                                 max_trials=3, session_id="s1",
+                                 objectives=Objective("score", minimize=True))
+        for s in session.ask(SuggestRequest(n=3)):
+            session.tell(TrialReport(config=s.config, metrics=evaluate(s.config)))
+        status = manager.status("s1")
+        assert status["n_trials"] == 3 and status["complete"]
+        best = min(t.metric("score") for t in session.optimizer.history.trials)
+        assert status["best_value"] == pytest.approx(best)
+        manager.complete("s1")
+        assert manager.meta("s1").status == "completed"
+
+    def test_create_duplicate_id_rejected(self, simple_space):
+        manager = SessionManager()
+        manager.create(simple_space, session_id="s1")
+        with pytest.raises(StorageError):
+            manager.create(simple_space, session_id="s1")
+
+    def test_list_and_exists(self, simple_space):
+        manager = SessionManager()
+        manager.create(simple_space, session_id="b")
+        manager.create(simple_space, session_id="a")
+        assert manager.list_sessions() == ["a", "b"]
+        assert manager.exists("a") and not manager.exists("zzz")
+
+
+class TestSessionWithoutStore:
+    def test_plain_session_still_asks_and_tells(self, simple_space):
+        from repro.optimizers import RandomSearchOptimizer
+
+        session = TuningSession(RandomSearchOptimizer(simple_space, seed=0),
+                                None, max_trials=3)
+        (s,) = session.ask(1)
+        trial, dup = session.tell(TrialReport(config=s.config, metrics={"score": 1.0}))
+        assert trial.trial_id == 0 and not dup
+
+    def test_run_without_evaluator_raises(self, simple_space):
+        from repro.optimizers import RandomSearchOptimizer
+
+        session = TuningSession(RandomSearchOptimizer(simple_space, seed=0),
+                                None, max_trials=3)
+        with pytest.raises(OptimizerError, match="no evaluator"):
+            session.run()
+
+
+class TestSpaceCodec:
+    def _rich_space(self) -> ConfigurationSpace:
+        space = ConfigurationSpace("rich", seed=0)
+        space.add(FloatParameter("lr", 1e-5, 1.0, default=1e-3, log=True,
+                                 prior=NormalPrior(0.5, 0.2)))
+        space.add(IntegerParameter("depth", 1, 12, default=3))
+        space.add(FloatParameter("dropout", 0.0, 0.9, default=0.1,
+                                 prior=BetaPrior(2.0, 5.0)))
+        space.add(CategoricalParameter("head", ["linear", "mlp", "attn"],
+                                       default="mlp", weights=[0.2, 0.5, 0.3]))
+        space.add(IntegerParameter("mlp_width", 16, 1024, default=64, log=True))
+        space.add_condition(EqualsCondition("mlp_width", "head", "mlp"))
+        space.add(FloatParameter("temp", 0.1, 10.0, default=1.0))
+        space.add_condition(GreaterThanCondition("temp", "depth", 4))
+        space.add(CategoricalParameter("sched", ["none", "cos", "step"], default="none"))
+        space.add_condition(InCondition("sched", "head", ["mlp", "attn"]))
+        return space
+
+    def test_round_trip(self):
+        space = self._rich_space()
+        rebuilt = space_from_dict(space_to_dict(space))
+        assert rebuilt.names == space.names
+        assert len(rebuilt.conditions) == len(space.conditions)
+        # sampling respects bounds/conditions on the rebuilt space
+        for config in rebuilt.sample_many(20):
+            for name in config:
+                if config.is_active(name):
+                    assert rebuilt[name].validate(config[name])
+        # defaults survive
+        assert rebuilt.default_configuration()["head"] == "mlp"
+
+    def test_strict_rejects_constraints(self, conditional_space):
+        with pytest.raises(SpaceCodecError):
+            space_to_dict(conditional_space, strict=True)
+        spec = space_to_dict(conditional_space, strict=False)
+        assert spec["dropped"]  # named, not silently lost
+        rebuilt = space_from_dict(spec)
+        assert rebuilt.names == conditional_space.names
+
+    def test_unsupported_version(self):
+        with pytest.raises(SpaceCodecError):
+            space_from_dict({"version": 42, "parameters": [{"type": "bool", "name": "b"}]})
+
+    def test_json_clean(self):
+        import json
+
+        json.dumps(space_to_dict(self._rich_space()))  # no numpy leakage
+
+
+class TestEncodeTrial:
+    def test_encode_includes_report_id(self, simple_space):
+        manager = SessionManager()
+        session = manager.create(simple_space, optimizer="random", seed=0, max_trials=2)
+        (s,) = session.ask(1)
+        trial, _ = session.tell(TrialReport(config=s.config, metrics={"score": 1.0}))
+        record = encode_trial(trial, report_id="rr")
+        assert record["report_id"] == "rr"
+        assert record["trial_id"] == trial.trial_id
+        assert record["metrics"] == {"score": 1.0}
