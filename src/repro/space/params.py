@@ -140,7 +140,9 @@ class _NumericParameter(Parameter):
     def _unit_to_float(self, u: float) -> float:
         u = min(1.0, max(0.0, float(u)))
         lo, hi = self._internal_bounds
-        return self._from_internal(lo + u * (hi - lo))
+        # Clamp: lo + u*(hi-lo) and exp(log(...)) round-trips can drift a ulp
+        # (or collapse entirely for subnormal-scale bounds) outside the domain.
+        return min(self.upper, max(self.lower, self._from_internal(lo + u * (hi - lo))))
 
     def sample(self, rng: np.random.Generator) -> Any:
         return self.from_unit(self.prior.sample_unit(rng))
