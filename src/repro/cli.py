@@ -9,6 +9,9 @@ need a Python file:
 * ``game``       — play one autotuner round of the Spark tuning game
 * ``trace``      — analyze a trace written by ``tune``/``compare --trace-out``
 * ``serve``      — run the durable multi-session tuning service (HTTP)
+* ``lint``       — static analysis: ``lint code`` (AST invariants over
+  source trees) and ``lint space`` (configuration-space lint of
+  registered target systems); see ``docs/static-analysis.md``
 
 ``tune`` and ``compare`` accept ``--trace-out FILE`` (full session trace:
 trial spans with nested operation spans, events, metrics — feed it to
@@ -233,6 +236,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint_code(args: argparse.Namespace) -> int:
+    """AST-lint source paths with the repro invariant checkers."""
+    from .staticcheck import lint_paths
+
+    report = lint_paths(args.paths)
+    if report.clean and not report.suppressed:
+        print(f"lint {report.target}: {report.summary()}")
+    else:
+        print(report.format(show_suppressed=True))
+    return 1 if report.errors or (args.strict_warnings and report.warnings) else 0
+
+
+def _cmd_lint_space(args: argparse.Namespace) -> int:
+    """Space-lint registered target systems (all of them by default)."""
+    from .staticcheck import lint_space
+
+    names = [args.system] if args.system else list(_SYSTEMS)
+    failed = False
+    for name in names:
+        system = _make_system(name, seed=0, noise=0.0)
+        report = lint_space(system.space, ignore=args.ignore)
+        if report.clean and not report.suppressed:
+            print(f"lint {report.target}: {report.summary()}")
+        else:
+            print(report.format(show_suppressed=True))
+        failed = failed or bool(report.errors) or (args.strict_warnings and bool(report.warnings))
+    return 1 if failed else 0
+
+
 def _cmd_game(args: argparse.Namespace) -> int:
     spark = SparkCluster(n_nodes=10, env=CloudEnvironment(seed=args.seed, transient_noise=args.noise), seed=args.seed)
     evaluate = spark.q1_game_evaluator(scale_factor=args.scale_factor)
@@ -308,6 +340,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--step-workers", type=int, default=4,
                    help="thread pool size for server-side /step evaluation")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("lint", help="static analysis: AST invariants and space lint")
+    lint_sub = p.add_subparsers(dest="lint_command", required=True)
+
+    pc = lint_sub.add_parser("code", help="AST-lint source trees (same checks as CI)")
+    pc.add_argument("paths", nargs="*", default=["src"],
+                    help="files or directories to lint (default: src)")
+    pc.add_argument("--strict-warnings", action="store_true",
+                    help="exit nonzero on warnings too, not only errors")
+    pc.set_defaults(func=_cmd_lint_code)
+
+    ps = lint_sub.add_parser("space", help="lint registered target-system spaces")
+    ps.add_argument("--system", choices=_SYSTEMS, default=None,
+                    help="lint one system's space (default: all)")
+    ps.add_argument("--ignore", action="append", default=[], metavar="RULE",
+                    help="suppress a rule id (repeatable), e.g. --ignore SP402")
+    ps.add_argument("--strict-warnings", action="store_true",
+                    help="exit nonzero on warnings too, not only errors")
+    ps.set_defaults(func=_cmd_lint_space)
 
     p = sub.add_parser("game", help="play the Spark tuning game")
     p.add_argument("--optimizer", choices=optimizer_names(), default="bo")

@@ -20,6 +20,7 @@ versa.
 from __future__ import annotations
 
 import time
+import warnings
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from ..exceptions import ReproError
@@ -137,6 +138,9 @@ class SessionManager:
         executor: "TrialExecutor | None" = None,
         callbacks: Sequence["Callback"] = (),
         extra: Mapping[str, Any] | None = None,
+        lint: bool = True,
+        strict: bool = False,
+        lint_ignore: Sequence[str] = (),
     ) -> TuningSession:
         """Create a new durable session and return it ready to drive.
 
@@ -144,7 +148,30 @@ class SessionManager:
         cross a process boundary (callable constraints/conditions) stay
         active in *this* process but are listed under ``dropped`` in the
         stored spec, so a resumed session runs without them.
+
+        Every create runs the space linter (:func:`repro.staticcheck.lint_space`)
+        unless ``lint=False``: findings are surfaced as a single
+        :class:`UserWarning` and attached to the returned session as
+        ``session.lint_report``. With ``strict=True`` an ERROR-severity
+        finding (unsatisfiable condition, dead parameter, contradictory
+        constraints, …) rejects the space with a rule-id-bearing
+        :class:`~repro.staticcheck.SpaceLintError` *before* anything is
+        persisted. ``lint_ignore`` suppresses individual rule ids.
         """
+        lint_report = None
+        if lint:
+            from ..staticcheck import SpaceLintError, lint_space
+
+            lint_report = lint_space(space, ignore=lint_ignore)
+            if strict and not lint_report.ok:
+                raise SpaceLintError(lint_report)
+            if not lint_report.clean:
+                warnings.warn(
+                    "space lint found issues (create the session with strict=True "
+                    "to reject instead):\n" + lint_report.format(),
+                    UserWarning,
+                    stacklevel=2,
+                )
         objs = _normalise_objectives(objectives)
         sid = session_id or new_session_id()
         meta = SessionMeta(
@@ -164,7 +191,7 @@ class SessionManager:
         )
         self.store.create_session(meta)
         opt = make_optimizer(optimizer, space, objs, seed=seed, options=optimizer_options)
-        return TuningSession(
+        session = TuningSession(
             opt,
             evaluator,
             max_trials=meta.max_trials,
@@ -175,6 +202,8 @@ class SessionManager:
             store=self.store,
             session_id=sid,
         )
+        session.lint_report = lint_report
+        return session
 
     def resume(
         self,

@@ -115,6 +115,9 @@ class TuningSession:
         self.executor = executor
         self.store = store
         self.session_id = session_id
+        #: Space-lint report attached by :meth:`SessionManager.create`
+        #: (``None`` for sessions built directly or with ``lint=False``).
+        self.lint_report = None
         self.last_suggest_latency_s = 0.0
         self._next_ask_id = 0
         self._pending_asks: dict[int, Configuration] = {}

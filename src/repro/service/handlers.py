@@ -25,6 +25,7 @@ loop keeps serving other sessions.
 from __future__ import annotations
 
 import asyncio
+import warnings
 from dataclasses import dataclass
 from typing import Any, Mapping
 
@@ -33,6 +34,7 @@ from ..core.manager import SessionManager
 from ..core.session import Evaluator, TuningSession
 from ..exceptions import OptimizerError, ReproError
 from ..space.serialize import space_from_dict
+from ..staticcheck import SpaceLintError
 from ..telemetry.metrics import MetricsRegistry
 from .wire import (
     CreateSessionRequest,
@@ -138,9 +140,11 @@ class ServiceHandlers:
                 objectives = [{"name": objective.name, "minimize": objective.minimize}]
         else:
             space = space_from_dict(req.space)
-        try:
-            session = await asyncio.to_thread(
-                lambda: self.manager.create(
+        def _create() -> TuningSession:
+            with warnings.catch_warnings():
+                # Lint findings travel in the response body, not the server log.
+                warnings.simplefilter("ignore", UserWarning)
+                return self.manager.create(
                     space,
                     optimizer=req.optimizer,
                     objectives=objectives or None,
@@ -151,8 +155,15 @@ class ServiceHandlers:
                     session_id=req.session_id,
                     evaluator=evaluator,
                     extra={"target": req.target} if req.target is not None else {},
+                    strict=req.strict,
+                    lint_ignore=req.lint_ignore,
                 )
-            )
+
+        try:
+            session = await asyncio.to_thread(_create)
+        except SpaceLintError as err:
+            self.metrics.inc("service.sessions.lint_rejected")
+            raise WireError(str(err)) from err
         except StorageError as err:
             raise WireError(str(err)) from err
         async with self._admission:
@@ -161,7 +172,11 @@ class ServiceHandlers:
             )
             self.metrics.set_gauge("service.sessions.hosted", len(self._hosted))
         self.metrics.inc("service.sessions.created")
-        return {"session_id": session.session_id, "resumed": False, "n_trials": 0}
+        out: dict[str, Any] = {"session_id": session.session_id, "resumed": False, "n_trials": 0}
+        if session.lint_report is not None and not session.lint_report.clean:
+            self.metrics.inc("service.sessions.lint_findings", len(session.lint_report.active))
+            out["lint"] = session.lint_report.to_dict()
+        return out
 
     async def status(self, session_id: str) -> dict[str, Any]:
         try:

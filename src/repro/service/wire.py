@@ -85,6 +85,8 @@ class CreateSessionRequest:
     optimizer_options: dict[str, Any] = field(default_factory=dict)
     session_id: str | None = None
     resume: bool = False  # if the id already exists, resume instead of erroring
+    strict: bool = False  # reject spaces with ERROR-severity lint findings
+    lint_ignore: list[str] = field(default_factory=list)  # rule ids to suppress
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CreateSessionRequest":
@@ -104,6 +106,8 @@ class CreateSessionRequest:
                 optimizer_options=dict(data.get("optimizer_options", {})),
                 session_id=None if data.get("session_id") is None else str(data["session_id"]),
                 resume=bool(data.get("resume", False)),
+                strict=bool(data.get("strict", False)),
+                lint_ignore=[str(r) for r in data.get("lint_ignore", [])],
             )
         except (TypeError, ValueError) as err:
             raise WireError(f"malformed create-session request: {err}") from err

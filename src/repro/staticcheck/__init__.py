@@ -1,0 +1,33 @@
+"""Static analysis for the autotuner: space lint + codebase invariants.
+
+Two prongs, one finding model (:mod:`repro.staticcheck.findings`):
+
+* :func:`lint_space` (:mod:`~repro.staticcheck.spacelint`) — rule engine
+  over :class:`~repro.space.ConfigurationSpace` objects or their wire
+  descriptions. Wired into :meth:`SessionManager.create
+  <repro.core.manager.SessionManager.create>` (warn by default,
+  ``strict=True`` rejects) and the service's session-create handler.
+* :func:`lint_paths` / :func:`lint_source`
+  (:mod:`~repro.staticcheck.astlint`) — stdlib-``ast`` checkers enforcing
+  repro-specific invariants over the source tree; runs as
+  ``python -m repro.staticcheck src`` and as a blocking CI job.
+
+Rule catalog, severities, and suppression syntax: ``docs/static-analysis.md``.
+"""
+
+from .findings import Finding, LintReport, Severity, SpaceLintError, SpaceLintReport
+from .spacelint import SPACE_RULES, lint_space
+from .astlint import AST_RULES, lint_paths, lint_source
+
+__all__ = [
+    "AST_RULES",
+    "Finding",
+    "LintReport",
+    "SPACE_RULES",
+    "Severity",
+    "SpaceLintError",
+    "SpaceLintReport",
+    "lint_paths",
+    "lint_source",
+    "lint_space",
+]

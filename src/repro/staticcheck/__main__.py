@@ -1,0 +1,63 @@
+"""``python -m repro.staticcheck [paths...]`` — the CI entry point.
+
+Runs the AST invariant checkers over the given paths (default: ``src``)
+and, with ``--spaces``, the space linter over every registered
+``repro.targets`` system space. Exit code 0 iff no ERROR-severity finding
+is active (suppressed findings are reported and counted but never fail
+the run; warnings fail only under ``--strict-warnings``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .astlint import lint_paths
+from .findings import LintReport
+from .spacelint import lint_space
+
+__all__ = ["main"]
+
+
+def _lint_target_spaces() -> list[LintReport]:
+    from ..targets import SYSTEMS, make_system
+
+    reports = []
+    for name in SYSTEMS:
+        system = make_system(name, seed=0)
+        reports.append(lint_space(system.space))
+    return reports
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck", description=__doc__
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to AST-lint (default: src)")
+    parser.add_argument("--spaces", action="store_true",
+                        help="also space-lint every registered repro.targets system")
+    parser.add_argument("--strict-warnings", action="store_true",
+                        help="fail on warnings too, not only errors")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the per-report summary lines")
+    args = parser.parse_args(argv)
+
+    reports: list[LintReport] = [lint_paths(args.paths)]
+    if args.spaces:
+        reports.extend(_lint_target_spaces())
+
+    failed = False
+    for report in reports:
+        if args.quiet or report.clean:
+            print(f"lint {report.target}: {report.summary()}")
+        else:
+            print(report.format(show_suppressed=True))
+        if report.errors or (args.strict_warnings and report.warnings):
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -21,6 +21,7 @@ conventions, event schema, and overhead guarantees.
 
 from .events import Event, EventLog
 from .metrics import DEFAULT_LATENCY_BUCKETS, Histogram, MetricsRegistry
+from .naming import EVENT_KINDS, SPAN_NAMES
 from .spans import OpSpan, TrialRef, active_trace, current_op, emit_event, span, trial_scope
 from .tracing import SessionTrace, TrialSpan
 from .export import chrome_trace, export_chrome_trace
@@ -28,8 +29,10 @@ from .callback import TelemetryCallback
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "EVENT_KINDS",
     "Event",
     "EventLog",
+    "SPAN_NAMES",
     "Histogram",
     "MetricsRegistry",
     "OpSpan",

@@ -1,0 +1,66 @@
+"""The documented span/event naming registry.
+
+Telemetry only composes across the stack when every layer agrees on what
+operations are called: the trace analyzer groups by span name, dashboards
+aggregate ``executor.attempt`` timings across services, and the replay
+tooling keys provenance off event kinds. A typo'd span name silently
+creates a new series instead of extending an existing one — so the set of
+legal names is *closed* and enforced statically by
+``repro.staticcheck.astlint`` (rule ``AST401``): every string literal
+passed to :func:`repro.telemetry.spans.span` or
+:func:`~repro.telemetry.spans.emit_event` must appear here.
+
+Adding an instrumentation point is a two-line change: add the name below
+(keep the ``<subsystem>.<operation>`` shape, lowercase, dot-separated) and
+document it in ``docs/static-analysis.md``'s naming table.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SPAN_NAMES", "EVENT_KINDS", "is_valid_span_name", "is_valid_event_kind"]
+
+#: Operation-span names (``with span(name): ...``), one per instrumented
+#: operation. Grouping key for the trace analyzer and latency histograms.
+SPAN_NAMES: frozenset[str] = frozenset(
+    {
+        # session / optimizer layer
+        "optimizer.suggest",      # one suggest() call (any optimizer)
+        "surrogate.fit",          # surrogate model (re)fit
+        "acquisition.optimize",   # acquisition search over candidates
+        "gp.hyperopt",            # GP hyperparameter optimization (NLL minimisation)
+        # execution layer
+        "executor.run",           # whole attempt loop of one trial
+        "executor.attempt",       # a single evaluation attempt
+        "executor.backoff",       # retry backoff sleep
+        # benchmarking / online layer
+        "benchmark.measure",      # one benchmark measurement (incl. warmup)
+        "policy.propose",         # online policy proposing a config
+        "system.run",             # simulated system executing a workload
+        # static analysis
+        "staticcheck.run",        # one lint pass (space or AST prong)
+    }
+)
+
+#: Structured event kinds (``emit_event(kind, ...)``) — the vocabulary of
+#: the bounded event log.
+EVENT_KINDS: frozenset[str] = frozenset(
+    {
+        "executor.timeout",
+        "executor.retry",
+        "benchmark.early_abort",
+        "guardrail.violation",
+        "agent.crash",
+        "agent.rollback",
+        "surrogate.jitter_escalation",
+        "workload.shift",
+        "staticcheck.finding",    # a lint finding surfaced at session create
+    }
+)
+
+
+def is_valid_span_name(name: str) -> bool:
+    return name in SPAN_NAMES
+
+
+def is_valid_event_kind(kind: str) -> bool:
+    return kind in EVENT_KINDS

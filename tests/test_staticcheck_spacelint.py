@@ -1,0 +1,399 @@
+"""Space-linter tests: condition-graph edge cases, constraint analysis,
+priors, serializability, and the all-rules golden report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.space import (
+    CategoricalParameter,
+    ConfigurationSpace,
+    FloatParameter,
+    IntegerParameter,
+)
+from repro.space.conditions import (
+    CallableCondition,
+    EqualsCondition,
+    GreaterThanCondition,
+    InCondition,
+    LessThanCondition,
+)
+from repro.space.constraints import CallableConstraint, LinearConstraint, RatioConstraint
+from repro.space.priors import NormalPrior
+from repro.exceptions import SpaceError
+from repro.staticcheck import SPACE_RULES, Severity, lint_space
+
+
+def rules_of(report, *, active_only: bool = True):
+    findings = report.active if active_only else list(report)
+    return sorted({f.rule for f in findings})
+
+
+def clean_space() -> ConfigurationSpace:
+    space = ConfigurationSpace("clean", seed=0)
+    space.add(FloatParameter("x", 0.0, 10.0, default=1.0))
+    space.add(IntegerParameter("n", 1, 8, default=2))
+    space.add(CategoricalParameter("mode", ["a", "b", "c"], default="a"))
+    space.add_condition(EqualsCondition("n", "mode", "a"))
+    return space
+
+
+class TestHealthySpaces:
+    def test_clean_space_has_no_findings(self):
+        report = lint_space(clean_space())
+        assert report.clean and report.ok
+        assert list(report) == []
+
+    def test_diamond_dependency_is_healthy(self):
+        # root gates left and right; leaf needs both. Perfectly satisfiable:
+        # the joint analysis must not confuse multiple parents with conflict.
+        space = ConfigurationSpace("diamond")
+        space.add(CategoricalParameter("root", ["on", "off"], default="on"))
+        space.add(FloatParameter("left", 0.0, 1.0, default=0.5))
+        space.add(FloatParameter("right", 0.0, 1.0, default=0.5))
+        space.add(FloatParameter("leaf", 0.0, 1.0, default=0.5))
+        space.add_condition(EqualsCondition("left", "root", "on"))
+        space.add_condition(EqualsCondition("right", "root", "on"))
+        space.add_condition(GreaterThanCondition("leaf", "left", 0.25))
+        space.add_condition(LessThanCondition("leaf", "right", 0.75))
+        report = lint_space(space)
+        assert report.clean, report.format()
+
+    def test_wire_dict_of_clean_space_is_clean(self):
+        from repro.space.serialize import space_to_dict
+
+        report = lint_space(space_to_dict(clean_space()))
+        assert report.clean, report.format()
+
+
+class TestConditionRules:
+    def test_sp201_equals_value_outside_parent_domain(self):
+        space = ConfigurationSpace("s")
+        space.add(FloatParameter("p", 0.0, 1.0, default=0.5))
+        space.add(FloatParameter("c", 0.0, 1.0, default=0.5))
+        space.add_condition(EqualsCondition("c", "p", 5.0))
+        report = lint_space(space)
+        assert "SP201" in rules_of(report)
+        assert not report.ok
+
+    def test_sp201_in_condition_with_no_valid_choice(self):
+        space = ConfigurationSpace("s")
+        space.add(CategoricalParameter("p", ["a", "b"], default="a"))
+        space.add(FloatParameter("c", 0.0, 1.0, default=0.5))
+        space.add_condition(InCondition("c", "p", ["x", "y"]))
+        assert "SP201" in rules_of(lint_space(space))
+
+    def test_sp201_threshold_above_parent_range(self):
+        space = ConfigurationSpace("s")
+        space.add(FloatParameter("p", 0.0, 1.0, default=0.5))
+        space.add(FloatParameter("c", 0.0, 1.0, default=0.5))
+        space.add_condition(GreaterThanCondition("c", "p", 2.0))
+        assert "SP201" in rules_of(lint_space(space))
+
+    def test_sp202_condition_that_always_holds(self):
+        space = ConfigurationSpace("s")
+        space.add(FloatParameter("p", 5.0, 9.0, default=6.0))
+        space.add(FloatParameter("c", 0.0, 1.0, default=0.5))
+        space.add_condition(GreaterThanCondition("c", "p", 1.0))
+        report = lint_space(space)
+        assert rules_of(report) == ["SP202"]
+        assert report.ok and not report.clean  # warning, not error
+
+    def test_sp203_chained_thresholds_jointly_exclude_all_values(self):
+        # x > 6 AND x < 4: each condition alone is satisfiable, the
+        # conjunction is empty — the headline case from the issue.
+        space = ConfigurationSpace("s")
+        space.add(FloatParameter("p", 0.0, 10.0, default=5.0))
+        space.add(FloatParameter("c", 0.0, 1.0, default=0.5))
+        space.add_condition(GreaterThanCondition("c", "p", 6.0))
+        space.add_condition(LessThanCondition("c", "p", 4.0))
+        report = lint_space(space)
+        assert "SP203" in rules_of(report)
+        assert not report.ok
+
+    def test_sp203_integer_gap_between_strict_thresholds(self):
+        # n > 3 AND n < 4 leaves no integer even though 3 < 4.
+        space = ConfigurationSpace("s")
+        space.add(IntegerParameter("p", 1, 10, default=5))
+        space.add(FloatParameter("c", 0.0, 1.0, default=0.5))
+        space.add_condition(GreaterThanCondition("c", "p", 3.0))
+        space.add_condition(LessThanCondition("c", "p", 4.0))
+        assert "SP203" in rules_of(lint_space(space))
+
+    def test_satisfiable_chained_thresholds_stay_clean(self):
+        space = ConfigurationSpace("s")
+        space.add(FloatParameter("p", 0.0, 10.0, default=5.0))
+        space.add(FloatParameter("c", 0.0, 1.0, default=0.5))
+        space.add_condition(GreaterThanCondition("c", "p", 2.0))
+        space.add_condition(LessThanCondition("c", "p", 8.0))
+        assert lint_space(space).clean
+
+    def test_sp203_pins_outside_threshold_band(self):
+        # mode must equal "a" AND numeric-equals pin excluded by a threshold.
+        space = ConfigurationSpace("s")
+        space.add(FloatParameter("p", 0.0, 10.0, default=5.0))
+        space.add(FloatParameter("c", 0.0, 1.0, default=0.5))
+        space.add_condition(EqualsCondition("c", "p", 2.0))
+        space.add_condition(GreaterThanCondition("c", "p", 5.0))
+        assert "SP203" in rules_of(lint_space(space))
+
+    def test_sp203_transitive_death_through_diamond(self):
+        # b is dead (unsatisfiable condition); d needs b AND c, so d dies
+        # transitively even though its own conditions are fine.
+        space = ConfigurationSpace("s")
+        space.add(CategoricalParameter("a", ["x", "y"], default="x"))
+        space.add(FloatParameter("b", 0.0, 1.0, default=0.5))
+        space.add(FloatParameter("c", 0.0, 1.0, default=0.5))
+        space.add(FloatParameter("d", 0.0, 1.0, default=0.5))
+        space.add_condition(EqualsCondition("b", "a", "nope"))  # unsatisfiable
+        space.add_condition(EqualsCondition("c", "a", "x"))
+        space.add_condition(GreaterThanCondition("d", "b", 0.2))
+        space.add_condition(GreaterThanCondition("d", "c", 0.2))
+        report = lint_space(space)
+        subjects = {(f.rule, f.subject) for f in report.active}
+        assert ("SP201", "b") in subjects
+        assert ("SP203", "d") in subjects
+
+    def test_sp401_callable_condition_flagged_not_killed(self):
+        space = ConfigurationSpace("s")
+        space.add(FloatParameter("p", 0.0, 1.0, default=0.5))
+        space.add(FloatParameter("c", 0.0, 1.0, default=0.5))
+        space.add_condition(CallableCondition("c", "p", lambda v: v > 0.5))
+        report = lint_space(space)
+        assert rules_of(report) == ["SP401"]
+        assert report.ok  # undecidable, so no false deadness claim
+
+    def test_sp204_cycle_via_wire_dict(self):
+        # add_condition refuses cycles, but a wire description can carry one.
+        data = {
+            "parameters": [
+                {"type": "float", "name": "a", "lower": 0.0, "upper": 1.0},
+                {"type": "float", "name": "b", "lower": 0.0, "upper": 1.0},
+            ],
+            "conditions": [
+                {"kind": "gt", "child": "a", "parent": "b", "threshold": 0.5},
+                {"kind": "gt", "child": "b", "parent": "a", "threshold": 0.5},
+            ],
+        }
+        report = lint_space(data)
+        assert rules_of(report) == ["SP204"]
+        assert {f.subject for f in report.active} == {"a", "b"}
+
+    def test_sp205_and_sp206_via_wire_dict(self):
+        data = {
+            "parameters": [{"type": "float", "name": "a", "lower": 0.0, "upper": 1.0}],
+            "conditions": [
+                {"kind": "equals", "child": "a", "parent": "a", "value": 0.5},
+                {"kind": "equals", "child": "ghost", "parent": "a", "value": 0.5},
+            ],
+        }
+        rules = rules_of(lint_space(data))
+        assert "SP206" in rules and "SP205" in rules
+
+
+class TestConstraintRules:
+    def base(self) -> ConfigurationSpace:
+        space = ConfigurationSpace("s")
+        space.add(FloatParameter("x", 0.0, 10.0, default=1.0))
+        space.add(FloatParameter("y", 0.0, 10.0, default=1.0))
+        return space
+
+    def test_sp301_unsatisfiable_linear(self):
+        space = self.base()
+        space.add_constraint(LinearConstraint({"x": 1.0, "y": 1.0}, bound=-1.0, name="bad"))
+        report = lint_space(space)
+        assert "SP301" in rules_of(report) and not report.ok
+
+    def test_sp302_vacuous_linear(self):
+        space = self.base()
+        space.add_constraint(LinearConstraint({"x": 1.0, "y": 1.0}, bound=100.0, name="loose"))
+        report = lint_space(space)
+        assert "SP302" in rules_of(report) and report.ok
+
+    def test_sp303_unknown_param(self):
+        space = self.base()
+        space.add_constraint(LinearConstraint({"ghost": 1.0}, bound=5.0, name="ghostly"))
+        assert "SP303" in rules_of(lint_space(space))
+
+    def test_sp304_non_numeric_param(self):
+        space = self.base()
+        space.add(CategoricalParameter("mode", ["a", "b"], default="a"))
+        space.add_constraint(LinearConstraint({"mode": 1.0}, bound=5.0, name="arith"))
+        assert "SP304" in rules_of(lint_space(space))
+
+    def test_sp305_duplicate_constraint(self):
+        space = self.base()
+        space.add_constraint(LinearConstraint({"x": 1.0}, bound=5.0, name="one"))
+        space.add_constraint(LinearConstraint({"x": 1.0}, bound=5.0, name="two"))
+        assert "SP305" in rules_of(lint_space(space))
+
+    def test_sp306_contradictory_pair(self):
+        # x <= 1 and -x <= -3 (i.e. x >= 3): the band (3, 1] is empty.
+        space = self.base()
+        space.add_constraint(LinearConstraint({"x": 1.0}, bound=1.0, name="upper"))
+        space.add_constraint(LinearConstraint({"x": -1.0}, bound=-3.0, name="lower"))
+        report = lint_space(space)
+        assert "SP306" in rules_of(report) and not report.ok
+
+    def test_compatible_pair_is_not_contradictory(self):
+        space = self.base()
+        space.add_constraint(LinearConstraint({"x": 1.0}, bound=5.0, name="upper"))
+        space.add_constraint(LinearConstraint({"x": -1.0}, bound=-2.0, name="lower"))
+        assert "SP306" not in rules_of(lint_space(space))
+
+    def test_sp307_infeasible_default(self):
+        space = ConfigurationSpace("s")
+        space.add(FloatParameter("x", 0.0, 10.0, default=9.0))
+        space.add_constraint(LinearConstraint({"x": 1.0}, bound=5.0, name="cap"))
+        assert "SP307" in rules_of(lint_space(space))
+
+    def test_sp301_impossible_ratio(self):
+        space = ConfigurationSpace("s")
+        space.add(FloatParameter("num", 100.0, 200.0, default=150.0))
+        space.add(FloatParameter("den", 1.0, 2.0, default=1.5))
+        space.add_constraint(RatioConstraint("num", "den", name="ratio"))
+        assert "SP301" in rules_of(lint_space(space))
+
+    def test_sp402_every_constraint_warned_nonserializable(self):
+        space = self.base()
+        space.add_constraint(CallableConstraint(lambda v: v["x"] < v["y"], name="cb"))
+        report = lint_space(space)
+        findings = [f for f in report.active if f.rule == "SP402"]
+        assert len(findings) == 1 and findings[0].subject == "cb"
+
+
+class TestNameAndPriorRules:
+    def test_sp102_lookalike_names(self):
+        space = ConfigurationSpace("s")
+        space.add(FloatParameter("max_size", 0.0, 1.0, default=0.5))
+        space.add(FloatParameter("MaxSize", 0.0, 1.0, default=0.5))
+        assert "SP102" in rules_of(lint_space(space))
+
+    def test_sp103_empty_space(self):
+        assert rules_of(lint_space(ConfigurationSpace("empty"))) == ["SP103"]
+
+    def test_sp101_duplicate_name_via_dict(self):
+        data = {
+            "parameters": [
+                {"type": "float", "name": "x", "lower": 0.0, "upper": 1.0},
+                {"type": "float", "name": "x", "lower": 0.0, "upper": 2.0},
+            ]
+        }
+        assert "SP101" in rules_of(lint_space(data))
+
+    def test_sp503_and_sp504_via_dict(self):
+        data = {
+            "parameters": [
+                {"type": "float", "name": "inv", "lower": 5.0, "upper": 1.0},
+                {"type": "float", "name": "logneg", "lower": -1.0, "upper": 1.0, "log": True},
+            ]
+        }
+        rules = rules_of(lint_space(data))
+        assert "SP504" in rules and "SP503" in rules
+
+    def test_sp501_normal_prior_outside_unit_range_via_dict(self):
+        data = {
+            "parameters": [
+                {"type": "float", "name": "x", "lower": 0.0, "upper": 1.0,
+                 "prior": {"kind": "normal", "mean": 5.0, "std": 0.1}},
+            ]
+        }
+        assert "SP501" in rules_of(lint_space(data))
+
+    def test_sp502_prior_pins_an_integer_knob(self):
+        space = ConfigurationSpace("s")
+        space.add(IntegerParameter("n", 1, 100, default=50,
+                                   prior=NormalPrior(0.5, 1e-4)))
+        assert "SP502" in rules_of(lint_space(space))
+
+    def test_sp104_malformed_dict_entries(self):
+        data = {"parameters": [{"type": "float"}], "conditions": ["nonsense"]}
+        assert rules_of(lint_space(data)) == ["SP104"]
+
+
+class TestReportMechanics:
+    def test_ignore_suppresses_but_counts(self):
+        space = ConfigurationSpace("s")
+        space.add(FloatParameter("x", 0.0, 10.0, default=1.0))
+        space.add_constraint(LinearConstraint({"x": 1.0}, bound=100.0, name="loose"))
+        report = lint_space(space, ignore=["SP302", "sp402"])
+        assert report.clean and report.ok
+        assert {f.rule for f in report.suppressed} == {"SP302", "SP402"}
+
+    def test_unknown_ignore_rule_rejected(self):
+        with pytest.raises(SpaceError, match="SP999"):
+            lint_space(clean_space(), ignore=["SP999"])
+
+    def test_report_is_json_safe_and_formatted(self):
+        space = ConfigurationSpace("s")
+        space.add(FloatParameter("p", 0.0, 1.0, default=0.5))
+        space.add(FloatParameter("c", 0.0, 1.0, default=0.5))
+        space.add_condition(EqualsCondition("c", "p", 9.0))
+        report = lint_space(space)
+        data = report.to_dict()
+        assert data["target"] == "s" and data["findings"]
+        text = report.format()
+        assert "SP201" in text and "ERROR" in text
+
+    def test_golden_all_object_rules(self):
+        """One pathological space triggers every object-level rule at once;
+        the triggered rule-id set is the golden value."""
+        space = ConfigurationSpace("monster")
+        space.add(FloatParameter("x", 0.0, 10.0, default=9.0))
+        space.add(FloatParameter("y", 0.0, 10.0, default=1.0))
+        space.add(FloatParameter("Y", 0.0, 1.0, default=0.5))          # SP102
+        space.add(CategoricalParameter("mode", ["a", "b"], default="a"))
+        space.add(FloatParameter("dead", 0.0, 1.0, default=0.5))
+        space.add(FloatParameter("orphan", 0.0, 1.0, default=0.5))
+        space.add(FloatParameter("cb", 0.0, 1.0, default=0.5))
+        space.add(IntegerParameter("pinned", 1, 100, default=50,
+                                   prior=NormalPrior(0.5, 1e-4)))       # SP502
+        space.add_condition(EqualsCondition("dead", "mode", "zzz"))     # SP201
+        space.add_condition(GreaterThanCondition("orphan", "dead", 0.5))  # SP203
+        space.add_condition(LessThanCondition("y", "x", 100.0))         # SP202
+        space.add_condition(CallableCondition("cb", "x", lambda v: v > 1))  # SP401
+        space.add_constraint(LinearConstraint({"x": 1.0, "y": 1.0}, -5.0, name="never"))  # SP301
+        space.add_constraint(LinearConstraint({"y": 1.0}, 1000.0, name="loose"))  # SP302
+        space.add_constraint(LinearConstraint({"ghost": 1.0}, 1.0, name="ghostly"))  # SP303
+        space.add_constraint(LinearConstraint({"mode": 1.0}, 1.0, name="arith"))  # SP304
+        space.add_constraint(LinearConstraint({"y": 1.0}, 1000.0, name="loose2"))  # SP305
+        space.add_constraint(LinearConstraint({"x": 1.0}, 1.0, name="hi"))
+        space.add_constraint(LinearConstraint({"x": -1.0}, -3.0, name="lo"))  # SP306 + SP307
+        report = lint_space(space)
+        assert rules_of(report) == [
+            "SP102", "SP201", "SP202", "SP203", "SP301", "SP302", "SP303",
+            "SP304", "SP305", "SP306", "SP307", "SP401", "SP402", "SP502",
+        ]
+        # Severities come from the shared catalog, never ad hoc.
+        for f in report:
+            assert f.severity is SPACE_RULES[f.rule][0]
+
+    def test_golden_all_structural_rules_via_dict(self):
+        data = {
+            "name": "monster-wire",
+            "parameters": [
+                {"type": "float", "name": "a", "lower": 0.0, "upper": 1.0},
+                {"type": "float", "name": "a", "lower": 0.0, "upper": 2.0},  # SP101
+                {"type": "float", "name": "inv", "lower": 3.0, "upper": 1.0},  # SP504
+                {"type": "float", "name": "lg", "lower": 0.0, "upper": 1.0, "log": True},  # SP503
+                {"type": "float", "name": "pri", "lower": 0.0, "upper": 1.0,
+                 "prior": {"kind": "normal", "mean": 7.0, "std": -1.0}},  # SP501 x2
+                {"type": "float"},  # SP104
+                {"type": "float", "name": "u", "lower": 0.0, "upper": 1.0},
+                {"type": "float", "name": "v", "lower": 0.0, "upper": 1.0},
+            ],
+            "conditions": [
+                {"kind": "equals", "child": "u", "parent": "u", "value": 1.0},  # SP206
+                {"kind": "equals", "child": "ghost", "parent": "u", "value": 1.0},  # SP205
+                {"kind": "gt", "child": "u", "parent": "v", "threshold": 0.5},  # SP204 (pair)
+                {"kind": "gt", "child": "v", "parent": "u", "threshold": 0.5},  # SP204
+            ],
+        }
+        report = lint_space(data)
+        assert rules_of(report) == [
+            "SP101", "SP104", "SP204", "SP205", "SP206", "SP501", "SP503", "SP504",
+        ]
+
+    def test_every_rule_id_documented_in_catalog(self):
+        for rule, (severity, desc) in SPACE_RULES.items():
+            assert rule.startswith("SP") and isinstance(severity, Severity) and desc
