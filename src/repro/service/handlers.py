@@ -85,7 +85,8 @@ class ServiceHandlers:
                 session = await asyncio.to_thread(self.manager.resume, session_id)
             except StorageError as err:
                 raise NotFoundError(str(err)) from err
-            evaluator = self._target_evaluator(self.manager.meta(session_id).extra)
+            meta = await asyncio.to_thread(self.manager.meta, session_id)
+            evaluator = self._target_evaluator(meta.extra)
             entry = _Hosted(session=session, lock=asyncio.Lock(), evaluator=evaluator)
             self._hosted[session_id] = entry
             self.metrics.inc("service.sessions.resumed")
