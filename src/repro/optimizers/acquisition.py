@@ -127,7 +127,9 @@ class ThompsonSampling(AcquisitionFunction):
     """
 
     def __init__(self, rng: np.random.Generator | None = None) -> None:
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # Deterministic fallback: an unseeded generator would make the
+        # acquisition stream (and thus the whole campaign) non-replayable.
+        self.rng = rng if rng is not None else np.random.default_rng(0)
 
     def __call__(self, mean: np.ndarray, std: np.ndarray, best: float) -> np.ndarray:
         mean, std = self._validate(mean, std)

@@ -55,7 +55,7 @@ def hyperband(
         raise OptimizerError(f"max_budget must exceed min_budget, got {min_budget}..{max_budget}")
     if eta <= 1.0:
         raise OptimizerError(f"eta must be > 1, got {eta}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(0)
     s_max = int(math.floor(math.log(max_budget / min_budget, eta)))
     best_config: Configuration | None = None
     best_score = math.inf
