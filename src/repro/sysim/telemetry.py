@@ -84,7 +84,7 @@ def generate_telemetry(
         raise ReproError(f"n_steps must be >= 8, got {n_steps}")
     if noise < 0:
         raise ReproError(f"noise must be >= 0, got {noise}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(0)
     period = period if period is not None else n_steps // 2
     t = np.arange(n_steps)
     base = _base_levels(workload)
