@@ -95,7 +95,7 @@ def synthetic_query_log(
     """
     if n_queries < 1:
         raise ReproError(f"n_queries must be >= 1, got {n_queries}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(0)
     p_point = workload.read_fraction * (1.0 - workload.scan_fraction)
     p_scan = workload.read_fraction * workload.scan_fraction
     p_insert = (1.0 - workload.read_fraction) * 0.6

@@ -60,7 +60,7 @@ def kmeans(
         raise ReproError(f"k must be in [1, {len(X)}], got {k}")
     if n_init < 1:
         raise ReproError(f"n_init must be >= 1, got {n_init}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(0)
     best: tuple[float, np.ndarray, np.ndarray] | None = None
     for _ in range(n_init):
         labels, C = _kmeans_once(X, k, n_iter, rng)
