@@ -47,7 +47,19 @@ SPACE_FORMAT_VERSION = 1
 
 
 class SpaceCodecError(SpaceError):
-    """A space (or space description) could not be (de)serialised."""
+    """A space (or space description) could not be (de)serialised.
+
+    When the failure is a specific space member (a callable condition, a
+    constraint), ``subject`` names it and ``rule`` carries the matching
+    :mod:`repro.staticcheck` rule id (``SP401``/``SP402``) so callers can
+    cross-reference ``docs/static-analysis.md`` — the space linter flags
+    the same member with the same id before serialisation is ever tried.
+    """
+
+    def __init__(self, message: str, *, subject: str | None = None, rule: str | None = None) -> None:
+        super().__init__(message)
+        self.subject = subject
+        self.rule = rule
 
 
 # -- priors ------------------------------------------------------------------
@@ -225,8 +237,11 @@ def space_to_dict(space: ConfigurationSpace, strict: bool = True) -> dict[str, A
         if encoded is None:
             if strict:
                 raise SpaceCodecError(
-                    f"condition {cond!r} holds an arbitrary callable and cannot be "
-                    "serialised; use strict=False to drop it"
+                    f"[SP401] condition on {cond.child!r} ({cond!r}) holds a Python "
+                    "callable and cannot be serialised; express it with Equals/In/"
+                    "GreaterThan/LessThan conditions, or use strict=False to drop it",
+                    subject=cond.child,
+                    rule="SP401",
                 )
             dropped.append(repr(cond))
         else:
@@ -234,8 +249,11 @@ def space_to_dict(space: ConfigurationSpace, strict: bool = True) -> dict[str, A
     for constraint in space.constraints:
         if strict:
             raise SpaceCodecError(
-                f"constraint {constraint!r} cannot be serialised (constraints are "
-                "arbitrary callables); use strict=False to drop it"
+                f"[SP402] constraint {constraint.name!r} ({constraint!r}) cannot be "
+                "serialised; enforce it inside the evaluator too, or use "
+                "strict=False to drop it",
+                subject=constraint.name,
+                rule="SP402",
             )
         dropped.append(repr(constraint))
     out: dict[str, Any] = {
