@@ -157,6 +157,131 @@ def test_e24_suggest_latency_curve(emit, table):
     assert results["bo"]["400"] < results["bo"]["200"] * 8
 
 
+@pytest.mark.perf
+def test_e24_smac_suggest_and_batch_gates(emit, table):
+    """Acceptance for the vectorized-forest overhaul (ISSUE 8):
+
+    * SMAC suggest ≤ 60 ms at n=400 and ≥10× vs the pre-overhaul
+      configuration (recursive tree builder + full refit every suggest);
+    * batch ``suggest(n=8)`` costs ≤ 2× a single suggest (constant-liar
+      fantasies on one routed candidate pool, one fit for the whole batch);
+    * the array-built forest is parity-checked against the recursive
+      builder: same splits, mean/std identical at rtol 1e-9.
+    """
+    n = 400
+
+    def _grown_smac(**kw):
+        # interleave=0: every suggest is model-guided, so best-of-k timing
+        # never picks up a ~0.1ms random-interleave slot.
+        opt = SMACOptimizer(
+            _space(1), n_init=8, n_trees=24, n_candidates=512, interleave=0,
+            objectives=SCORE, seed=0, **kw
+        )
+        rng = np.random.default_rng(n)
+        for _ in range(n):
+            config = opt.space.sample(rng)
+            opt.observe(config, _score(config))
+        return opt
+
+    # Parity first: identical bootstraps/splits => near-identical posteriors.
+    from repro.optimizers.forest import RandomForestRegressor
+
+    Xp, yp = _grown_data(n)
+    fa = RandomForestRegressor(n_trees=16, seed=11, max_features=None, builder="array").fit(Xp, yp)
+    fr = RandomForestRegressor(n_trees=16, seed=11, max_features=None, builder="recursive").fit(Xp, yp)
+    Xq = np.random.default_rng(5).random((256, DIMS))
+    m_a, s_a = fa.predict(Xq, return_std=True)
+    m_r, s_r = fr.predict(Xq, return_std=True)
+    np.testing.assert_allclose(m_a, m_r, rtol=1e-9, atol=1e-12)
+    np.testing.assert_allclose(s_a, s_r, rtol=1e-9, atol=1e-12)
+
+    # Steady-state single-suggest latency (each suggest follows a fresh
+    # observation, so the cadenced surrogate update is included).
+    fast = _grown_smac()
+
+    def fast_step():
+        config = fast.suggest()[0]
+        fast.observe(config, _score(config))
+
+    fast_ms = _best_of(fast_step, repeats=5)
+
+    # Pre-overhaul baseline: recursive per-node builder, full refit on
+    # every suggest (refit_every=1 disables the warm partial_fit path).
+    slow = _grown_smac(builder="recursive", refit_every=1)
+
+    def slow_step():
+        config = slow.suggest()[0]
+        slow.observe(config, _score(config))
+
+    slow_ms = _best_of(slow_step, repeats=2)
+
+    # Batch amortization: one fit + one routed pool for all 8 picks.
+    batch = _grown_smac()
+    batch.suggest()  # absorb the pending fit so single/batch start equal
+    single_ms = _best_of(lambda: batch.suggest(1), repeats=5)
+    batch_ms = _best_of(lambda: batch.suggest(8), repeats=5)
+
+    speedup = slow_ms / fast_ms
+    stats = fast.surrogate_stats()
+    table(
+        "E24 — SMAC suggest overhaul (n=400, 512 candidates, 24 trees)",
+        ["metric", "value"],
+        [
+            ("suggest (vectorized forest)", f"{fast_ms:.1f} ms"),
+            ("suggest (recursive + full refit)", f"{slow_ms:.1f} ms"),
+            ("speedup", f"{speedup:.1f}x"),
+            ("suggest(1) after warm fit", f"{single_ms:.1f} ms"),
+            ("suggest(8) constant-liar batch", f"{batch_ms:.1f} ms"),
+            ("batch/single cost ratio", f"{batch_ms / single_ms:.2f}x"),
+            ("forest fits / partial_fits", f"{stats['n_fits']:.0f} / {stats['n_partial_fits']:.0f}"),
+        ],
+    )
+    _write_bench({
+        "smac_suggest": {
+            "n": n,
+            "suggest_ms": fast_ms,
+            "baseline_recursive_full_refit_ms": slow_ms,
+            "speedup": speedup,
+            "single_suggest_ms": single_ms,
+            "batch8_suggest_ms": batch_ms,
+            "batch_amortization": batch_ms / single_ms,
+            "parity_rtol": 1e-9,
+        }
+    })
+    assert fast_ms <= 60.0, f"SMAC suggest {fast_ms:.1f}ms exceeds the 60ms gate"
+    assert speedup >= 10.0, f"only {speedup:.1f}x vs recursive/full-refit baseline"
+    assert batch_ms <= 2.0 * single_ms, (
+        f"batch of 8 costs {batch_ms / single_ms:.2f}x a single suggest"
+    )
+
+
+def test_e24_smac_telemetry_counters_exposed():
+    """SMAC's suggest path must surface forest fit/predict/fantasy counters."""
+    smac = SMACOptimizer(_space(3), n_init=4, n_candidates=32, n_trees=8, objectives=SCORE, seed=3)
+    rng = np.random.default_rng(3)
+    for _ in range(8):
+        config = smac.suggest()[0]
+        smac.observe(config, _score(config))
+    smac.suggest(4)
+    stats = smac.surrogate_stats()
+    for key in (
+        "fit_ms",
+        "predict_ms",
+        "n_fits",
+        "n_partial_fits",
+        "n_trees",
+        "n_nodes",
+        "pending_fantasies",
+        "fantasies_total",
+        "encode_cache_hits",
+    ):
+        assert key in stats
+    assert stats["n_fits"] >= 1
+    assert stats["n_trees"] == 8
+    assert stats["fantasies_total"] >= 1
+    assert stats["pending_fantasies"] == 0  # always discarded after a batch
+
+
 def test_e24_analytic_gradient_acceptance(emit, table):
     """Acceptance: analytic-gradient NLL fit reaches LML ≥ the numerical
     baseline on the E03 (Redis curve) and E05-style (DBMS-dim) problems,

@@ -87,9 +87,13 @@ class SuggestRequest:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SuggestRequest":
+        if "n" in data and "count" in data:
+            raise CodecError("SuggestRequest accepts 'n' or 'count', not both")
         try:
             return cls(
-                n=int(data.get("n", 1)),
+                # "count" is the wire alias used by batch clients;
+                # "n" remains the canonical field.
+                n=int(data.get("n", data.get("count", 1))),
                 session_id=data.get("session_id"),
                 fidelity=None if data.get("fidelity") is None else float(data["fidelity"]),
             )

@@ -232,11 +232,24 @@ class Optimizer(ABC):
         """Propose the next ``n`` configurations to evaluate."""
         if n < 1:
             raise OptimizerError(f"n must be >= 1, got {n}")
+        if n > 1:
+            batch = self._suggest_batch(n)
+            if batch is not None:
+                return batch
         return [self._suggest() for _ in range(n)]
 
     @abstractmethod
     def _suggest(self) -> Configuration:
         """Produce a single suggestion."""
+
+    def _suggest_batch(self, n: int) -> list[Configuration] | None:
+        """Optional batched path for ``suggest(n > 1)``.
+
+        Surrogate optimizers override this with constant-liar fantasization
+        so a batch of ``n`` costs one model fit instead of ``n``. Returning
+        ``None`` falls back to ``n`` independent :meth:`_suggest` calls.
+        """
+        return None
 
     # -- tell ----------------------------------------------------------------
     def observe(

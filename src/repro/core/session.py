@@ -157,7 +157,12 @@ class TuningSession:
         """Whether the trial budget has been exhausted."""
         return len(self.optimizer.history) >= self.max_trials
 
-    def ask(self, request: SuggestRequest | int = 1) -> list[Suggestion]:
+    def ask(
+        self,
+        request: SuggestRequest | int | None = None,
+        *,
+        count: int | None = None,
+    ) -> list[Suggestion]:
         """Propose the next configurations without evaluating them.
 
         The open-loop half of the unified ask/tell surface: the caller (a
@@ -165,8 +170,18 @@ class TuningSession:
         evaluates the returned configurations and reports results via
         :meth:`tell`. Each suggestion carries a per-session ``ask_id``
         token to echo back in the matching report.
+
+        ``count`` is keyword-only sugar for a batch ask (``ask(count=8)``);
+        batch asks reach the optimizer as one ``suggest(n)`` call so
+        surrogate optimizers can amortize a single fit across the batch.
         """
-        if isinstance(request, int):
+        if count is not None:
+            if request is not None:
+                raise OptimizerError("pass either a request or count=, not both")
+            request = SuggestRequest(n=int(count))
+        elif request is None:
+            request = SuggestRequest()
+        elif isinstance(request, int):
             request = SuggestRequest(n=request)
         remaining = self.max_trials - len(self.optimizer.history)
         if remaining <= 0:

@@ -13,11 +13,15 @@ All functions return values to **maximise** over candidates.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 from scipy import stats
 
 from ..exceptions import OptimizerError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..space import Configuration, ConfigurationSpace
 
 __all__ = [
     "AcquisitionFunction",
@@ -26,7 +30,37 @@ __all__ = [
     "LowerConfidenceBound",
     "CostAwareEI",
     "ThompsonSampling",
+    "generate_candidates",
 ]
+
+
+def generate_candidates(
+    space: "ConfigurationSpace",
+    rng: np.random.Generator,
+    n: int,
+    incumbent: "Configuration | None" = None,
+    global_fraction: float = 0.7,
+    local_scales: Sequence[float] = (0.02, 0.05, 0.15),
+) -> "list[Configuration]":
+    """Candidate pool for acquisition maximisation, drawn in two batched calls.
+
+    The standard mix used by the surrogate optimizers: ``global_fraction``
+    of the pool is sampled from the whole space, the rest are single-knob
+    perturbations of the incumbent at a random step size from
+    ``local_scales`` (tight to loose). Everything is vectorized —
+    :meth:`ConfigurationSpace.sample_many` draws all parameter columns at
+    once and :meth:`ConfigurationSpace.neighbor_many` groups rows per moved
+    knob — replacing the former per-candidate Python loops.
+    """
+    n = int(n)
+    n_global = int(n * global_fraction)
+    if incumbent is not None and n - n_global < 1:
+        n_global = n - 1  # keep >= 1 local neighbor when an incumbent exists
+    cands = space.sample_many(n_global, rng)
+    if incumbent is not None and n > n_global:
+        scales = rng.choice(np.asarray(local_scales, dtype=float), size=n - n_global)
+        cands.extend(space.neighbor_many(incumbent, n - n_global, rng, scales=scales))
+    return cands
 
 
 class AcquisitionFunction(ABC):

@@ -79,7 +79,7 @@ class MultiArmedBanditOptimizer(Optimizer):
             raise OptimizerError(f"unknown policy {policy!r}")
         if not 0.0 <= epsilon <= 1.0:
             raise OptimizerError(f"epsilon must be in [0, 1], got {epsilon}")
-        self.arms = list(arms) if arms is not None else [space.sample(self.rng) for _ in range(n_arms)]
+        self.arms = list(arms) if arms is not None else space.sample_many(n_arms, self.rng)
         if len(self.arms) < 2:
             raise OptimizerError("need at least 2 arms")
         self.policy = policy

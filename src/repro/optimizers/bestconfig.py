@@ -56,7 +56,8 @@ class BestConfigOptimizer(Optimizer):
             try:
                 out.append(self.space.from_unit_array(row, check_constraints=True))
             except Exception:
-                out.append(self.space.sample(self.rng))
+                # One draw per rare infeasible LHS row, not a hot loop.
+                out.append(self.space.sample(self.rng))  # repro: noqa AST204
         return out
 
     def _bounded_round(self, center: Configuration) -> list[Configuration]:
@@ -72,7 +73,8 @@ class BestConfigOptimizer(Optimizer):
             try:
                 out.append(self.space.from_unit_array(point, check_constraints=True))
             except Exception:
-                out.append(self.space.neighbor(center, self.rng, scale=self._radius))
+                # Same: fallback for the occasional infeasible box point.
+                out.append(self.space.neighbor(center, self.rng, scale=self._radius))  # repro: noqa AST204
         return out
 
     def _refill(self) -> None:

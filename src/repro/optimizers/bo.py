@@ -20,7 +20,7 @@ from ..exceptions import OptimizerError
 from ..telemetry.spans import span
 from ..space import Configuration, ConfigurationSpace
 from ..space.encoding import OneHotEncoder, OrdinalEncoder, SpaceEncoder, TrialEncodingCache
-from .acquisition import AcquisitionFunction, ExpectedImprovement
+from .acquisition import AcquisitionFunction, ExpectedImprovement, generate_candidates
 from .gp import GaussianProcessRegressor, default_kernel
 
 __all__ = ["BayesianOptimizer"]
@@ -77,6 +77,7 @@ class BayesianOptimizer(Optimizer):
         self._encoding_cache = TrialEncodingCache(self.encoder)
         # Constant-liar state for batch suggestions.
         self._lies: list[np.ndarray] = []
+        self._fantasies_total = 0
 
     @staticmethod
     def _make_encoder(encoding: str, space: ConfigurationSpace) -> SpaceEncoder:
@@ -102,30 +103,28 @@ class BayesianOptimizer(Optimizer):
         X, y = self._training_data()
         if len(X) == 0:
             return
-        self.model.optimize_hypers = (self._fit_count % self.refit_every == 0)
+        # Lie fits (mid-batch refits on fantasized rows) never re-optimize
+        # hyperparameters and don't advance the refit cadence — a batch of k
+        # must not burn k cadence slots.
+        fantasizing = bool(self._lies)
+        self.model.optimize_hypers = (
+            not fantasizing and self._fit_count % self.refit_every == 0
+        )
         with span("surrogate.fit", n_observations=len(X), refit_hypers=self.model.optimize_hypers):
             self.model.fit(X, y)
-        self._fit_count += 1
+        if not fantasizing:
+            self._fit_count += 1
         self._model_stale = False
 
     # -- candidate generation --------------------------------------------------------
     def _candidates(self) -> list[Configuration]:
-        n_global = int(self.n_candidates * 0.7)
         try:
             best = self.history.best().config
         except OptimizerError:
             best = None
-        if best is not None and self.n_candidates - n_global < 1:
-            # Small candidate sets must still exploit the incumbent: always
-            # keep at least one local neighbor when one exists.
-            n_global = self.n_candidates - 1
-        cands = [self.space.sample(self.rng) for _ in range(n_global)]
-        if best is not None:
-            n_local = self.n_candidates - n_global
-            for _ in range(n_local):
-                scale = float(self.rng.choice([0.02, 0.05, 0.15]))
-                cands.append(self.space.neighbor(best, self.rng, scale=scale))
-        return cands
+        return generate_candidates(
+            self.space, self.rng, self.n_candidates, incumbent=best
+        )
 
     # -- suggest ---------------------------------------------------------------------
     def _suggest(self) -> Configuration:
@@ -144,16 +143,22 @@ class BayesianOptimizer(Optimizer):
             scores = self.acquisition(mean, std, best_score)
             return cands[int(np.argmax(scores))]
 
-    def suggest(self, n: int = 1) -> list[Configuration]:
-        """Batch suggestion with constant-liar fantasies for diversity."""
-        if n == 1:
-            return [self._suggest()]
+    def _suggest_batch(self, n: int) -> list[Configuration]:
+        """Batch suggestion with constant-liar fantasies for diversity.
+
+        Each pick appends a fantasized row (the incumbent's score imputed at
+        the chosen point) and reconditions the GP on it — without touching
+        hyperparameters, so the batch costs one hyperparameter fit plus
+        ``n−1`` cheap reconditionings. Fantasies are discarded before
+        returning.
+        """
         out: list[Configuration] = []
         try:
             for _ in range(n):
                 config = self._suggest()
                 out.append(config)
                 self._lies.append(self.encoder.encode(config))
+                self._fantasies_total += 1
                 self._model_stale = True
         finally:
             self._lies.clear()
@@ -171,6 +176,8 @@ class BayesianOptimizer(Optimizer):
         """
         out = self.model.stats_dict()
         out.update(self._encoding_cache.stats())
+        out["pending_fantasies"] = float(len(self._lies))
+        out["fantasies_total"] = float(self._fantasies_total)
         return out
 
     # -- introspection --------------------------------------------------------------------

@@ -122,7 +122,7 @@ class ConstrainedBayesianOptimizer(Optimizer):
             self._fit()
         if not self.objective_model.is_fitted:
             return self.space.sample(self.rng)
-        cands = [self.space.sample(self.rng) for _ in range(self.n_candidates)]
+        cands = self.space.sample_many(self.n_candidates, self.rng)
         X = self.encoder.encode_many(cands)
         mean, std = self.objective_model.predict(X, return_std=True)
         feasible = self.feasible_trials()

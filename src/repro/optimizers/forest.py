@@ -8,17 +8,40 @@ alternative-surrogate answer to discrete/hybrid spaces on slide 51.
 Implemented from scratch on numpy: variance-reduction splits, bootstrap
 bagging, and the SMAC-style uncertainty estimate (variance of tree means
 plus mean of leaf variances).
+
+Two tree builders share one flat node-array representation
+(``feature``/``threshold``/``left``/``right``/``value``/``variance``):
+
+* ``builder="array"`` (default) grows each tree breadth-first, searching a
+  whole level's splits at once with presorted per-feature sweeps and
+  segment prefix sums — no Python recursion on the fit hot path.
+* ``builder="recursive"`` is the original per-node :class:`RegressionTree`,
+  kept as the parity reference (same split criterion, stopping rules, and
+  tie-breaks, so both builders produce the same trees on the same data).
+
+The forest also supports a warm :meth:`~RandomForestRegressor.partial_fit`
+(online bagging: appended rows enter each tree's bootstrap with Poisson(1)
+multiplicity; leaf statistics absorb them immediately and only stale trees
+regrow) and constant-liar *fantasies* for batch suggestion
+(:meth:`~RandomForestRegressor.add_fantasy` /
+:meth:`~RandomForestRegressor.clear_fantasies`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from ..exceptions import NotFittedError, OptimizerError
 
-__all__ = ["RegressionTree", "RandomForestRegressor"]
+__all__ = ["RegressionTree", "RandomForestRegressor", "ForestStats"]
+
+# np.allclose defaults — the array builder replicates the recursive
+# builder's constant-leaf test exactly.
+_CONST_RTOL = 1e-5
+_CONST_ATOL = 1e-8
 
 
 @dataclass
@@ -138,7 +161,11 @@ class RegressionTree:
             k = max(1, int(round(d * self.max_features)))
             features = self.rng.choice(d, size=k, replace=False)
         best: tuple[float, int, float] | None = None
-        total_sq, total_sum = float((y * y).sum()), float(y.sum())
+        # Sequential (cumsum) totals, not np.sum's pairwise ones: the array
+        # builder accumulates its per-node totals sequentially, and exact
+        # SSE ties between features (same induced partition) must break the
+        # same way in both builders for split parity to hold bit-for-bit.
+        total_sq, total_sum = float(np.cumsum(y * y)[-1]), float(np.cumsum(y)[-1])
         for f in features:
             order = np.argsort(X[:, f], kind="stable")
             xs, ys = X[order, f], y[order]
@@ -172,8 +199,295 @@ class RegressionTree:
         return mean, self._variances[idx]
 
 
+@dataclass
+class _TreeArrays:
+    """One tree flattened into parallel node arrays (``feature == -1`` ⇒ leaf)."""
+
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    value: np.ndarray
+    variance: np.ndarray
+    count: np.ndarray  # training rows per node (float for streaming updates)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.feature)
+
+    def route(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index for every row of X, routed level-by-level."""
+        idx = np.zeros(len(X), dtype=np.intp)
+        while True:
+            f = self.feature[idx]
+            active = np.nonzero(f >= 0)[0]
+            if len(active) == 0:
+                return idx
+            cur = idx[active]
+            go_left = X[active, self.feature[cur]] <= self.threshold[cur]
+            idx[active] = np.where(go_left, self.left[cur], self.right[cur])
+
+    def absorb(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Stream new observations into leaf statistics without regrowing.
+
+        Leaf mean/variance update via running (count, sum, sum-of-squares);
+        the split structure is untouched, so the tree gradually goes stale
+        until the forest regrows it from its full bootstrap.
+        """
+        leaves = self.route(X)
+        s = self.value * self.count
+        sq = (self.variance + self.value**2) * self.count
+        cnt = self.count.copy()
+        np.add.at(s, leaves, y)
+        np.add.at(sq, leaves, y * y)
+        np.add.at(cnt, leaves, 1.0)
+        touched = np.zeros(self.n_nodes, dtype=bool)
+        touched[leaves] = True
+        denom = np.maximum(cnt, 1.0)
+        self.value = np.where(touched, s / denom, self.value)
+        self.variance = np.where(
+            touched, np.maximum(sq / denom - (s / denom) ** 2, 0.0), self.variance
+        )
+        self.count = cnt
+
+
+def _grow_tree_arrays(
+    X: np.ndarray,
+    y: np.ndarray,
+    max_depth: int,
+    min_samples_leaf: int,
+    max_features: float | None,
+    rng: np.random.Generator,
+) -> _TreeArrays:
+    """Grow one CART tree breadth-first, directly into flat node arrays.
+
+    Split criterion, stopping rules, and tie-breaks replicate
+    :meth:`RegressionTree._build` (first feature / first position wins on
+    ties, midpoint thresholds, ``np.allclose`` constant-leaf test), but an
+    entire level is searched at once: for each feature the level's rows are
+    presorted with one ``lexsort`` keyed by (node, value), and every node's
+    candidate SSEs come from segment prefix sums over that ordering.
+    """
+    n, d = X.shape
+    n_sub = None
+    if max_features is not None:
+        n_sub = max(1, int(round(d * max_features)))
+        if n_sub >= d:
+            n_sub = None
+
+    chunks: list[tuple[np.ndarray, ...]] = []
+    rows = np.arange(n, dtype=np.intp)
+    nid = np.zeros(n, dtype=np.intp)  # local node index within the level
+    base = 0  # global id of the level's first node (BFS ids are contiguous)
+    m = 1
+    depth = 0
+
+    while len(rows):
+        order = np.argsort(nid, kind="stable")
+        rows, nid = rows[order], nid[order]
+        counts = np.bincount(nid, minlength=m)
+        starts = np.zeros(m, dtype=np.intp)
+        np.cumsum(counts[:-1], out=starts[1:])
+
+        ys = y[rows]
+        means = np.add.reduceat(ys, starts) / counts
+        dev = ys - means[nid]
+        variances = np.add.reduceat(dev * dev, starts) / counts
+
+        lv_feature = np.full(m, -1, dtype=np.intp)
+        lv_threshold = np.zeros(m)
+        lv_left = np.full(m, -1, dtype=np.intp)
+        lv_right = np.full(m, -1, dtype=np.intp)
+
+        # Constant-leaf test, matching allclose(y, y[0]) bit-for-bit:
+        # |yᵢ−y₀| ≤ atol + rtol·|y₀| ⇔ |yᵢ−y₀| − (atol + rtol·|y₀|) ≤ 0
+        # (IEEE subtraction preserves the comparison's sign exactly).
+        y0 = ys[starts]
+        thresh = _CONST_ATOL + _CONST_RTOL * np.abs(y0[nid])
+        excess = np.abs(ys - y0[nid]) - thresh
+        allconst = np.maximum.reduceat(excess, starts) <= 0.0
+        trym = ~((depth >= max_depth) | (counts < 2 * min_samples_leaf) | allconst)
+
+        if not trym.any():
+            chunks.append((lv_feature, lv_threshold, lv_left, lv_right, means, variances, counts))
+            break
+
+        # Compact the level to the nodes still looking for a split.
+        t_idx = np.nonzero(trym)[0]
+        mt = len(t_idx)
+        remap = np.full(m, -1, dtype=np.intp)
+        remap[t_idx] = np.arange(mt)
+        rmask = trym[nid]
+        rows_t = rows[rmask]
+        nid_t = remap[nid[rmask]]
+        cnt_t = counts[t_idx]
+        starts_t = np.zeros(mt, dtype=np.intp)
+        np.cumsum(cnt_t[:-1], out=starts_t[1:])
+
+        allow = None
+        if n_sub is not None:
+            # Per-node feature subset, drawn as the n_sub smallest of d
+            # uniforms — one vectorized draw for the whole level.
+            r = rng.random((mt, d))
+            pick = np.argpartition(r, n_sub - 1, axis=1)[:, :n_sub]
+            allow = np.zeros((mt, d), dtype=bool)
+            np.put_along_axis(allow, pick, True, axis=1)
+
+        R = len(rows_t)
+        pos = np.arange(R)
+        seg = nid_t  # ascending; lexsort below keeps segments in place
+        col = pos - starts_t[seg]  # position within the segment
+        lsize = col + 1
+        rsize = cnt_t[seg] - lsize
+        cmax = int(cnt_t.max())
+        # Per-node *local* prefix sums via one padded (node × position)
+        # cumsum: each row accumulates sequentially from its own segment
+        # start, bit-identical to the per-node cumsum the recursive builder
+        # computes — so exact SSE ties between features that induce the
+        # same partition (common at small nodes) resolve to the first
+        # feature in both builders. A global cumsum minus segment offsets
+        # would perturb those ties and flip splits. Stale cells from the
+        # previous feature sit past each segment's end and are never read.
+        P = np.empty((mt, cmax))
+        rowsel = np.arange(mt)
+        # Node totals accumulate over *node order* (not per-feature sorted
+        # order), shared by every feature — the same single sequential sum
+        # the recursive builder takes before its feature loop. Per-feature
+        # totals would sum in a different order, drift by an ulp, and flip
+        # exact SSE ties.
+        ysn = y[rows_t]
+        P[seg, col] = ysn
+        tot_sum = np.cumsum(P, axis=1)[rowsel, cnt_t - 1]
+        P[seg, col] = ysn * ysn
+        tot_sq = np.cumsum(P, axis=1)[rowsel, cnt_t - 1]
+        best_sse = np.full((mt, d), np.inf)
+        best_thr = np.zeros((mt, d))
+        for f in range(d):
+            xf = X[rows_t, f]
+            order_f = np.lexsort((xf, nid_t))
+            xs = xf[order_f]
+            ysf = y[rows_t[order_f]]
+            P[seg, col] = ysf
+            csumM = np.cumsum(P, axis=1)
+            left_sum = csumM[seg, col]
+            P[seg, col] = ysf * ysf
+            csqM = np.cumsum(P, axis=1)
+            left_sq = csqM[seg, col]
+            valid = np.zeros(R, dtype=bool)
+            if R > 1:
+                valid[:-1] = (seg[:-1] == seg[1:]) & (xs[:-1] < xs[1:])
+            valid &= (lsize >= min_samples_leaf) & (rsize >= min_samples_leaf)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                lsse = left_sq - left_sum**2 / lsize
+                rsum = tot_sum[seg] - left_sum
+                rsq = tot_sq[seg] - left_sq
+                rsse = rsq - rsum**2 / np.maximum(rsize, 1)
+            sse = np.where(valid, lsse + rsse, np.inf)
+            seg_min = np.minimum.reduceat(sse, starts_t)
+            # First position attaining each segment's min (argmin semantics).
+            hit = np.where(sse == seg_min[seg], pos, R)
+            arg = np.minimum.reduceat(hit, starts_t)
+            ok = np.isfinite(seg_min)
+            best_sse[:, f] = np.where(ok, seg_min, np.inf)
+            safe = np.where(ok, arg, 0)
+            best_thr[:, f] = (xs[safe] + xs[np.minimum(safe + 1, R - 1)]) / 2.0
+
+        if allow is not None:
+            best_sse = np.where(allow, best_sse, np.inf)
+        fbest = np.argmin(best_sse, axis=1)  # first feature wins ties
+        can_split = np.isfinite(best_sse[np.arange(mt), fbest])
+        split_t = np.nonzero(can_split)[0]
+        ns = len(split_t)
+
+        if ns:
+            feat_sel = fbest[split_t]
+            thr_sel = best_thr[split_t, feat_sel]
+            local = t_idx[split_t]
+            left_ids = base + m + 2 * np.arange(ns)
+            lv_feature[local] = feat_sel
+            lv_threshold[local] = thr_sel
+            lv_left[local] = left_ids
+            lv_right[local] = left_ids + 1
+        chunks.append((lv_feature, lv_threshold, lv_left, lv_right, means, variances, counts))
+        if ns == 0:
+            break
+
+        # Route the split nodes' rows to their children for the next level.
+        remap2 = np.full(mt, -1, dtype=np.intp)
+        remap2[split_t] = np.arange(ns)
+        k_of = remap2[nid_t]
+        keep = k_of >= 0
+        rows_n = rows_t[keep]
+        k_of = k_of[keep]
+        go_left = X[rows_n, feat_sel[k_of]] <= thr_sel[k_of]
+        rows = rows_n
+        nid = 2 * k_of + np.where(go_left, 0, 1)
+        base += m
+        m = 2 * ns
+        depth += 1
+
+    return _TreeArrays(
+        feature=np.concatenate([c[0] for c in chunks]),
+        threshold=np.concatenate([c[1] for c in chunks]),
+        left=np.concatenate([c[2] for c in chunks]),
+        right=np.concatenate([c[3] for c in chunks]),
+        value=np.concatenate([c[4] for c in chunks]),
+        variance=np.concatenate([c[5] for c in chunks]),
+        count=np.concatenate([c[6] for c in chunks]).astype(float),
+    )
+
+
+def _arrays_from_recursive(tree: RegressionTree, X: np.ndarray) -> _TreeArrays:
+    """Flatten a fitted recursive tree, filling leaf counts by routing its
+    own training rows (internal-node counts stay 0 — only leaves stream)."""
+    count = np.zeros(len(tree._features))
+    np.add.at(count, tree._route(X), 1.0)
+    return _TreeArrays(
+        feature=tree._features.copy(),
+        threshold=tree._thresholds.copy(),
+        left=tree._lefts.copy(),
+        right=tree._rights.copy(),
+        value=tree._values.copy(),
+        variance=tree._variances.copy(),
+        count=count,
+    )
+
+
+@dataclass
+class ForestStats:
+    """Fit/predict counters for the forest surrogate (mirrors the GP's
+    ``SurrogateStats``); exported as telemetry gauges via
+    ``surrogate_stats()``."""
+
+    n_fits: int = 0
+    n_partial_fits: int = 0
+    trees_grown: int = 0
+    fit_ms: float = 0.0
+    predict_ms: float = 0.0
+    n_predicts: int = 0
+    n_trees: int = 0
+    n_nodes: int = 0
+    pending_fantasies: int = 0
+    fantasies_total: int = 0
+
+    def to_dict(self) -> dict[str, float]:
+        return {k: float(v) for k, v in asdict(self).items()}
+
+
 class RandomForestRegressor:
-    """Bagged regression trees with SMAC-style mean/variance prediction."""
+    """Bagged regression trees with SMAC-style mean/variance prediction.
+
+    Parameters
+    ----------
+    builder:
+        ``"array"`` (level-wise vectorized growth, the default) or
+        ``"recursive"`` (the original per-node builder, kept for parity
+        benchmarks). Both produce the same splits on the same bootstrap.
+    stale_fraction:
+        A tree regrows during :meth:`partial_fit` once its pending bootstrap
+        appends exceed this fraction of its bootstrap size; one tree per
+        call regrows regardless (round-robin) so structure tracks the data.
+    """
 
     def __init__(
         self,
@@ -182,58 +496,152 @@ class RandomForestRegressor:
         min_samples_leaf: int = 2,
         max_features: float = 0.8,
         seed: int | None = None,
+        builder: str = "array",
+        stale_fraction: float = 0.25,
     ) -> None:
         if n_trees < 1:
             raise OptimizerError(f"n_trees must be >= 1, got {n_trees}")
+        if builder not in ("array", "recursive"):
+            raise OptimizerError(f"builder must be 'array' or 'recursive', got {builder!r}")
+        if not 0.0 < stale_fraction <= 1.0:
+            raise OptimizerError(f"stale_fraction must be in (0, 1], got {stale_fraction}")
         self.n_trees = int(n_trees)
+        self.builder = builder
+        self.stale_fraction = float(stale_fraction)
         self.rng = np.random.default_rng(seed)
         self._tree_params = dict(
             max_depth=max_depth, min_samples_leaf=min_samples_leaf, max_features=max_features
         )
-        self._trees: list[RegressionTree] = []
+        self._trees: list[_TreeArrays] = []
+        self._boot: list[np.ndarray] = []
+        self._tree_seeds: list[int] = []
+        self._pending: list[int] = []
+        self._regrow_cursor = 0
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._fantasy_backup: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self.stats = ForestStats()
 
     @property
     def is_fitted(self) -> bool:
         return bool(self._trees)
+
+    def stats_dict(self) -> dict[str, float]:
+        return self.stats.to_dict()
+
+    def _grow(self, idx: np.ndarray, seed: int) -> _TreeArrays:
+        Xb, yb = self._X[idx], self._y[idx]
+        if self.builder == "recursive":
+            tree = RegressionTree(seed=seed, **self._tree_params)
+            tree.fit(Xb, yb)
+            return _arrays_from_recursive(tree, Xb)
+        return _grow_tree_arrays(Xb, yb, rng=np.random.default_rng(seed), **self._tree_params)
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
         X = np.atleast_2d(np.asarray(X, dtype=float))
         y = np.asarray(y, dtype=float).ravel()
         if len(X) != len(y) or len(X) == 0:
             raise OptimizerError(f"bad training data: {X.shape}, {y.shape}")
-        self._trees = []
+        t0 = time.perf_counter()
+        self._fantasy_backup = None
+        self.stats.pending_fantasies = 0
+        self._X, self._y = X.copy(), y.copy()
+        self._trees, self._boot, self._tree_seeds, self._pending = [], [], [], []
         n = len(X)
         for _ in range(self.n_trees):
             idx = self.rng.integers(0, n, size=n)  # bootstrap
-            tree = RegressionTree(seed=int(self.rng.integers(2**31)), **self._tree_params)
-            tree.fit(X[idx], y[idx])
-            self._trees.append(tree)
+            seed = int(self.rng.integers(2**31))
+            self._trees.append(self._grow(idx, seed))
+            self._boot.append(idx)
+            self._tree_seeds.append(seed)
+            self._pending.append(0)
         self._compile()
+        self.stats.n_fits += 1
+        self.stats.trees_grown += self.n_trees
+        self.stats.fit_ms += (time.perf_counter() - t0) * 1e3
+        return self
+
+    def partial_fit(self, X_new: np.ndarray, y_new: np.ndarray) -> "RandomForestRegressor":
+        """Warm update with appended observations (online bagging).
+
+        Each new row enters each tree's bootstrap with Poisson(1)
+        multiplicity (Oza & Russell). Trees absorb their copies into leaf
+        statistics immediately; a tree only regrows from its full bootstrap
+        once ``stale_fraction`` of it is pending (plus one round-robin
+        regrow per call), so the per-call cost is a small, bounded slice of
+        a full refit.
+        """
+        if not self.is_fitted:
+            raise NotFittedError("partial_fit needs a fitted forest; call fit first")
+        X_new = np.atleast_2d(np.asarray(X_new, dtype=float))
+        y_new = np.asarray(y_new, dtype=float).ravel()
+        if len(X_new) != len(y_new) or len(X_new) == 0:
+            raise OptimizerError(f"bad update data: {X_new.shape}, {y_new.shape}")
+        if X_new.shape[1] != self._X.shape[1]:
+            raise OptimizerError(
+                f"feature-count mismatch: fitted {self._X.shape[1]}, got {X_new.shape[1]}"
+            )
+        t0 = time.perf_counter()
+        self._fantasy_backup = None
+        self.stats.pending_fantasies = 0
+        start = len(self._X)
+        self._X = np.vstack([self._X, X_new])
+        self._y = np.concatenate([self._y, y_new])
+        new_ids = np.arange(start, len(self._X))
+
+        extras: list[np.ndarray] = []
+        for t in range(self.n_trees):
+            reps = self.rng.poisson(1.0, size=len(new_ids))
+            extra = np.repeat(new_ids, reps)
+            extras.append(extra)
+            self._boot[t] = np.concatenate([self._boot[t], extra])
+            self._pending[t] += len(extra)
+
+        regrow = {
+            t
+            for t in range(self.n_trees)
+            if self._pending[t] >= self.stale_fraction * len(self._boot[t])
+        }
+        cursor = self._regrow_cursor % self.n_trees
+        self._regrow_cursor += 1
+        if self._pending[cursor] > 0:
+            regrow.add(cursor)
+        for t in range(self.n_trees):
+            if t in regrow:
+                self._trees[t] = self._grow(self._boot[t], self._tree_seeds[t])
+                self._pending[t] = 0
+            elif len(extras[t]):
+                self._trees[t].absorb(self._X[extras[t]], self._y[extras[t]])
+        self._compile()
+        self.stats.n_partial_fits += 1
+        self.stats.trees_grown += len(regrow)
+        self.stats.fit_ms += (time.perf_counter() - t0) * 1e3
         return self
 
     def _compile(self) -> None:
         """Concatenate all trees' node arrays so one routing sweep predicts
         the whole ensemble — (n_trees × n_samples) states advance together,
         one vectorized step per tree level."""
-        offsets = np.cumsum([0] + [len(t._features) for t in self._trees[:-1]])
+        offsets = np.cumsum([0] + [t.n_nodes for t in self._trees[:-1]])
         self._roots = np.asarray(offsets, dtype=np.intp)
-        self._features = np.concatenate([t._features for t in self._trees])
-        self._thresholds = np.concatenate([t._thresholds for t in self._trees])
+        self._features = np.concatenate([t.feature for t in self._trees])
+        self._thresholds = np.concatenate([t.threshold for t in self._trees])
         # Child indices shift by each tree's offset; leaves keep -1.
         lefts, rights = [], []
         for t, off in zip(self._trees, offsets):
-            internal = t._features >= 0
-            lefts.append(np.where(internal, t._lefts + off, -1))
-            rights.append(np.where(internal, t._rights + off, -1))
+            internal = t.feature >= 0
+            lefts.append(np.where(internal, t.left + off, -1))
+            rights.append(np.where(internal, t.right + off, -1))
         self._lefts = np.concatenate(lefts)
         self._rights = np.concatenate(rights)
-        self._values = np.concatenate([t._values for t in self._trees])
-        self._variances = np.concatenate([t._variances for t in self._trees])
+        self._values = np.concatenate([t.value for t in self._trees])
+        self._variances = np.concatenate([t.variance for t in self._trees])
+        self._counts = np.concatenate([t.count for t in self._trees])
+        self.stats.n_trees = len(self._trees)
+        self.stats.n_nodes = len(self._features)
 
-    def predict(self, X: np.ndarray, return_std: bool = False):
-        if not self._trees:
-            raise NotFittedError("forest is not fitted")
-        X = np.atleast_2d(np.asarray(X, dtype=float))
+    def _route_compiled(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index in the concatenated arrays for every (tree, row) pair."""
         n = len(X)
         idx = np.repeat(self._roots, n)
         col = np.tile(np.arange(n), self.n_trees)
@@ -241,15 +649,92 @@ class RandomForestRegressor:
             f = self._features[idx]
             active = np.nonzero(f >= 0)[0]
             if len(active) == 0:
-                break
+                return idx
             cur = idx[active]
             go_left = X[col[active], self._features[cur]] <= self._thresholds[cur]
             idx[active] = np.where(go_left, self._lefts[cur], self._rights[cur])
+
+    # -- constant-liar fantasies ---------------------------------------------
+    def add_fantasy(self, x: np.ndarray, y_lie: float) -> None:
+        """Condition predictions on a pretend observation without refitting.
+
+        The lie enters every tree's routed leaf statistics in the *compiled*
+        arrays only — per-tree arrays are untouched, so
+        :meth:`clear_fantasies` (or any recompile) restores the honest
+        posterior exactly. Used by batch suggestion to push later picks away
+        from already-chosen points.
+        """
+        if not self.is_fitted:
+            raise NotFittedError("add_fantasy needs a fitted forest")
+        if self._fantasy_backup is None:
+            self._fantasy_backup = (
+                self._values.copy(),
+                self._variances.copy(),
+                self._counts.copy(),
+            )
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        leaves = self._route_compiled(x)
+        y_lie = float(y_lie)
+        s = self._values * self._counts
+        sq = (self._variances + self._values**2) * self._counts
+        np.add.at(s, leaves, y_lie)
+        np.add.at(sq, leaves, y_lie**2)
+        np.add.at(self._counts, leaves, 1.0)
+        touched = np.unique(leaves)
+        cnt = self._counts[touched]
+        self._values[touched] = s[touched] / cnt
+        self._variances[touched] = np.maximum(
+            sq[touched] / cnt - (s[touched] / cnt) ** 2, 0.0
+        )
+        self.stats.pending_fantasies += 1
+        self.stats.fantasies_total += 1
+
+    def clear_fantasies(self) -> None:
+        """Discard all pending fantasies, restoring the honest posterior."""
+        if self._fantasy_backup is not None:
+            self._values, self._variances, self._counts = self._fantasy_backup
+            self._fantasy_backup = None
+        self.stats.pending_fantasies = 0
+
+    def route_leaves(self, X: np.ndarray) -> np.ndarray:
+        """Leaf indices for ``X`` — the routing half of :meth:`predict`.
+
+        Routing depends only on split structure, never on leaf statistics,
+        so a cached result stays valid across :meth:`add_fantasy` /
+        :meth:`clear_fantasies`. Batch suggestion routes its candidate pool
+        once and rescores each pick from the cached leaves.
+        """
+        if not self._trees:
+            raise NotFittedError("forest is not fitted")
+        return self._route_compiled(np.atleast_2d(np.asarray(X, dtype=float)))
+
+    def predict_from_leaves(self, leaves: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Mean/std from cached :meth:`route_leaves` output (current leaf
+        statistics, including any pending fantasies)."""
+        n = len(leaves) // self.n_trees
+        means = self._values[leaves].reshape(self.n_trees, n)
+        mean = means.mean(axis=0)
+        # Law of total variance across the ensemble.
+        variances = self._variances[leaves].reshape(self.n_trees, n)
+        var = means.var(axis=0) + variances.mean(axis=0)
+        return mean, np.sqrt(np.maximum(var, 1e-12))
+
+    def predict(self, X: np.ndarray, return_std: bool = False):
+        if not self._trees:
+            raise NotFittedError("forest is not fitted")
+        t0 = time.perf_counter()
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        n = len(X)
+        idx = self._route_compiled(X)
         means = self._values[idx].reshape(self.n_trees, n)
         mean = means.mean(axis=0)
         if not return_std:
+            self.stats.n_predicts += 1
+            self.stats.predict_ms += (time.perf_counter() - t0) * 1e3
             return mean
         # Law of total variance across the ensemble.
         variances = self._variances[idx].reshape(self.n_trees, n)
         var = means.var(axis=0) + variances.mean(axis=0)
+        self.stats.n_predicts += 1
+        self.stats.predict_ms += (time.perf_counter() - t0) * 1e3
         return mean, np.sqrt(np.maximum(var, 1e-12))

@@ -66,7 +66,7 @@ def hyperband(
     for s in range(s_max, -1, -1):
         n = int(math.ceil((s_max + 1) / (s + 1) * eta**s))
         budgets = [max_budget * eta ** (i - s) for i in range(s + 1)]
-        candidates = [space.sample(rng) for _ in range(n)]
+        candidates = space.sample_many(n, rng)
 
         spent = {"v": 0.0}
 

@@ -120,7 +120,7 @@ class MultiFidelityBO(Optimizer):
         X, y = self._training()
         self.model.fit(X, y)
         force_full = self._n_suggested % self.full_every == 0
-        cands = [self.space.sample(self.rng) for _ in range(self.n_candidates)]
+        cands = self.space.sample_many(self.n_candidates, self.rng)
         best = self._best_target_score(X, y)
         best_pair: tuple[float, Configuration, FidelityLevel] | None = None
         levels = [self.target_fidelity] if force_full else self.fidelities

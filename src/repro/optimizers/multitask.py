@@ -226,7 +226,7 @@ class MultiTaskOptimizer(Optimizer):
             if obj.name in t.metrics
         ]
         best = float(min(scores)) if scores else 0.0
-        cands = [self.space.sample(self.rng) for _ in range(self.n_candidates)]
+        cands = self.space.sample_many(self.n_candidates, self.rng)
         mean, std = self.model.predict(self.encoder.encode_many(cands), task, return_std=True)
         return cands[int(np.argmax(self.acquisition(mean, std, best)))]
 

@@ -77,7 +77,7 @@ class _ScalarizingBO(Optimizer):
         y = self._scalarize(self._normalize(F), weights)
         X = self.encoder.encode_many(configs)
         self.model.fit(X, y)
-        cands = [self.space.sample(self.rng) for _ in range(self.n_candidates)]
+        cands = self.space.sample_many(self.n_candidates, self.rng)
         mean, std = self.model.predict(self.encoder.encode_many(cands), return_std=True)
         scores = self.acquisition(mean, std, float(y.min()))
         return cands[int(np.argmax(scores))]

@@ -3,7 +3,15 @@
 Hutter, Hoos & Leyton-Brown's sequential model-based algorithm
 configuration, as cited on slide 50. The forest handles categorical and
 conditional knobs natively (no imposed order), and every ``interleave``-th
-suggestion is random — SMAC's guarantee against model lock-in.
+model-guided suggestion is random — SMAC's guarantee against model lock-in.
+
+The suggest hot path is fully batched: candidates come from
+:func:`~repro.optimizers.acquisition.generate_candidates` (two vectorized
+space calls instead of 512 Python-loop samples), the forest refits on a
+cadence (``refit_every``, mirroring the GP's contract) with warm
+``partial_fit`` updates in between, and ``suggest(n>1)`` amortizes one fit
+across the whole batch via constant-liar fantasies on a shared routed
+candidate pool.
 """
 
 from __future__ import annotations
@@ -15,7 +23,7 @@ from ..exceptions import OptimizerError
 from ..telemetry.spans import span
 from ..space import Configuration, ConfigurationSpace
 from ..space.encoding import OneHotEncoder, TrialEncodingCache
-from .acquisition import AcquisitionFunction, ExpectedImprovement
+from .acquisition import AcquisitionFunction, ExpectedImprovement, generate_candidates
 from .forest import RandomForestRegressor
 
 __all__ = ["SMACOptimizer"]
@@ -30,9 +38,18 @@ class SMACOptimizer(Optimizer):
         Random probes before the surrogate takes over.
     interleave:
         Insert one random suggestion every ``interleave`` model-guided ones
-        (0 disables interleaving).
+        (0 disables interleaving). Only model-phase suggestions count toward
+        the interleave cycle — the ``n_init`` random phase does not shift it.
     n_candidates:
         Candidate-set size for acquisition maximisation.
+    refit_every:
+        Grow the forest from scratch every k-th fit; the fits in between are
+        warm :meth:`~repro.optimizers.forest.RandomForestRegressor.partial_fit`
+        updates (online bagging + bounded regrowth). The same cadence
+        contract as the GP's hyperparameter refits.
+    builder:
+        Forest tree builder, ``"array"`` (vectorized, default) or
+        ``"recursive"`` (parity baseline).
     """
 
     def __init__(
@@ -45,6 +62,8 @@ class SMACOptimizer(Optimizer):
         acquisition: AcquisitionFunction | None = None,
         objectives: Objective | list[Objective] | None = None,
         seed: int | None = None,
+        refit_every: int = 8,
+        builder: str = "array",
     ) -> None:
         super().__init__(space, objectives, seed=seed)
         if n_init < 1:
@@ -54,55 +73,135 @@ class SMACOptimizer(Optimizer):
         self.n_init = int(n_init)
         self.interleave = int(interleave)
         self.n_candidates = int(n_candidates)
+        self.refit_every = max(1, int(refit_every))
         self.acquisition = acquisition if acquisition is not None else ExpectedImprovement()
         self.encoder = OneHotEncoder(space)
-        self.model = RandomForestRegressor(n_trees=n_trees, seed=seed)
+        self.model = RandomForestRegressor(n_trees=n_trees, seed=seed, builder=builder)
         self._model_stale = True
+        # Model-guided suggestions only (satellite fix): the n_init random
+        # phase must not shift the interleave cycle.
         self._suggestion_count = 0
+        self._fit_count = 0
+        # (trial ids, training y) the forest was last fitted on — a warm
+        # partial_fit is only sound while the new data is a strict extension
+        # of this prefix (crash-score re-imputation rewrites old y values,
+        # which forces a full refit).
+        self._fitted_ids: tuple[int, ...] = ()
+        self._fitted_y: np.ndarray = np.empty(0)
         self._encoding_cache = TrialEncodingCache(self.encoder)
 
     def _fit_model(self) -> None:
         trials, y = self.history.training_data(self.objective, self.crash_penalty_factor)
         if not trials:
             return
+        ids = tuple(t.trial_id for t in trials)
         X = self._encoding_cache.encode_trials(trials)
+        k = len(self._fitted_ids)
+        warm = (
+            self.model.is_fitted
+            and self._fit_count % self.refit_every != 0
+            and len(ids) > k
+            and ids[:k] == self._fitted_ids
+            and np.array_equal(y[:k], self._fitted_y)
+        )
         with span("surrogate.fit", n_observations=len(X), model="forest"):
-            self.model.fit(X, y)
+            if warm:
+                self.model.partial_fit(X[k:], y[k:])
+            else:
+                self.model.fit(X, y)
+        self._fit_count += 1
+        self._fitted_ids = ids
+        self._fitted_y = y.copy()
         self._model_stale = False
 
     def surrogate_stats(self) -> dict[str, float]:
-        """Encoding-cache counters (picked up by telemetry spans)."""
-        return self._encoding_cache.stats()
+        """Forest fit/predict counters plus encoding-cache stats.
+
+        Picked up by :class:`~repro.telemetry.TelemetryCallback` and the
+        service metrics endpoint, which register them as gauges — the same
+        path the GP surrogate uses.
+        """
+        out = self.model.stats_dict()
+        out.update(self._encoding_cache.stats())
+        return out
+
+    # -- suggest ---------------------------------------------------------------
+    def _incumbent(self) -> Configuration | None:
+        try:
+            return self.history.best().config
+        except OptimizerError:
+            return None
+
+    def _candidate_pool(self) -> list[Configuration]:
+        return generate_candidates(
+            self.space, self.rng, self.n_candidates, incumbent=self._incumbent()
+        )
+
+    def _interleave_due(self) -> bool:
+        """Advance the model-phase counter; True on every (interleave+1)-th."""
+        self._suggestion_count += 1
+        return bool(self.interleave) and self._suggestion_count % (self.interleave + 1) == 0
 
     def _suggest(self) -> Configuration:
-        self._suggestion_count += 1
-        n_done = len(self.history.completed())
-        if n_done < self.n_init:
+        if len(self.history.completed()) < self.n_init:
             return self.space.sample(self.rng)
-        if self.interleave and self._suggestion_count % (self.interleave + 1) == 0:
+        if self._interleave_due():
             return self.space.sample(self.rng)
         if self._model_stale:
             self._fit_model()
         if not self.model.is_fitted:
             return self.space.sample(self.rng)
         with span("acquisition.optimize", n_candidates=self.n_candidates):
-            n_global = int(self.n_candidates * 0.7)
-            try:
-                best = self.history.best().config
-            except OptimizerError:
-                best = None
-            if best is not None and self.n_candidates - n_global < 1:
-                n_global = self.n_candidates - 1  # keep >= 1 local neighbor
-            cands = [self.space.sample(self.rng) for _ in range(n_global)]
-            if best is not None:
-                for _ in range(self.n_candidates - n_global):
-                    scale = float(self.rng.choice([0.02, 0.05, 0.15]))
-                    cands.append(self.space.neighbor(best, self.rng, scale=scale))
+            cands = self._candidate_pool()
             X = self.encoder.encode_many(cands)
             mean, std = self.model.predict(X, return_std=True)
             best_score = float(self.history.scores().min())
             scores = self.acquisition(mean, std, best_score)
             return cands[int(np.argmax(scores))]
+
+    def _suggest_batch(self, n: int) -> list[Configuration] | None:
+        """Constant-liar batch: one fit + one routed pool for all ``n`` picks.
+
+        Each pick fantasizes the incumbent score at the chosen point, which
+        deflates nearby leaves' EI and pushes later picks elsewhere. The
+        candidate pool is routed through the forest once — fantasies only
+        touch leaf statistics, never split structure, so every rescoring is
+        a cheap gather. Fantasies are discarded before returning (the
+        ``finally`` guarantees the honest posterior even on error).
+        """
+        if len(self.history.completed()) < self.n_init:
+            return None  # init phase: independent random draws
+        if self._model_stale:
+            self._fit_model()
+        if not self.model.is_fitted:
+            return None
+        best_score = float(self.history.scores().min())
+        out: list[Configuration] = []
+        pool: list[Configuration] | None = None
+        try:
+            for _ in range(n):
+                if self._interleave_due():
+                    # One interleaved random pick per due slot; the slots are
+                    # interleaved with sequential fantasy updates, so they
+                    # cannot be drawn as one batch up front.
+                    out.append(self.space.sample(self.rng))  # repro: noqa AST204
+                    continue
+                if pool is None:
+                    with span("acquisition.optimize", n_candidates=self.n_candidates):
+                        pool = self._candidate_pool()
+                        X = self.encoder.encode_many(pool)
+                        leaves = self.model.route_leaves(X)
+                        taken = np.zeros(len(pool), dtype=bool)
+                mean, std = self.model.predict_from_leaves(leaves)
+                scores = self.acquisition(mean, std, best_score)
+                scores = np.where(taken, -np.inf, scores)
+                k = int(np.argmax(scores))
+                taken[k] = True
+                out.append(pool[k])
+                self.model.add_fantasy(X[k], best_score)
+        finally:
+            self.model.clear_fantasies()
+        return out
 
     def _on_observe(self, trial: Trial) -> None:
         self._model_stale = True

@@ -94,7 +94,7 @@ class StructuredBayesianOptimizer(Optimizer):
         if not self._models:
             return self.space.sample(self.rng)
         best_score = float(self.history.scores().min())
-        cands = [self.space.sample(self.rng) for _ in range(self.n_candidates)]
+        cands = self.space.sample_many(self.n_candidates, self.rng)
         by_group: dict[frozenset, list[int]] = {}
         for i, cand in enumerate(cands):
             by_group.setdefault(self._signature(cand), []).append(i)

@@ -185,6 +185,13 @@ class ServiceHandlers:
         except StorageError as err:
             raise NotFoundError(str(err)) from err
 
+    def _absorb_surrogate_stats(self, session: TuningSession) -> None:
+        """Register the optimizer's surrogate counters as gauges (GP fit
+        stats, forest fit/predict timings, pending fantasies, …)."""
+        stats = getattr(session.optimizer, "surrogate_stats", None)
+        if stats is not None:
+            self.metrics.absorb(stats(), "surrogate")
+
     async def ask(self, session_id: str, body: Mapping[str, Any]) -> dict[str, Any]:
         request = parse_suggest_request(body)
         entry = await self._host(session_id)
@@ -194,6 +201,9 @@ class ServiceHandlers:
             except OptimizerError as err:
                 raise WireError(str(err)) from err
         self.metrics.inc("service.asks", len(suggestions))
+        if request.n > 1:
+            self.metrics.inc("service.asks.batched")
+        self._absorb_surrogate_stats(entry.session)
         self.metrics.observe("suggest.seconds", entry.session.last_suggest_latency_s)
         return {
             "session_id": session_id,
@@ -263,6 +273,7 @@ class ServiceHandlers:
                 await asyncio.to_thread(self.manager.complete, session_id)
         self.metrics.inc("service.trials.total", len(trial_ids))
         self.metrics.inc("service.steps", len(trial_ids))
+        self._absorb_surrogate_stats(entry.session)
         return {"session_id": session_id, "trial_ids": trial_ids, "complete": complete}
 
     async def complete(self, session_id: str) -> dict[str, Any]:

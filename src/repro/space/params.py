@@ -55,6 +55,14 @@ class Parameter(ABC):
     def sample(self, rng: np.random.Generator) -> Any:
         """Draw one value from the parameter's prior."""
 
+    def sample_many(self, rng: np.random.Generator, n: int) -> list[Any]:
+        """Draw ``n`` values in one vectorized pass (plain-Python scalars).
+
+        Subclasses override with closed-form array math; the fallback loops
+        over :meth:`sample`.
+        """
+        return [self.sample(rng) for _ in range(int(n))]
+
     # -- unit-cube encoding ----------------------------------------------
     @abstractmethod
     def to_unit(self, value: Any) -> float:
@@ -72,10 +80,28 @@ class Parameter(ABC):
     def from_unit(self, u: float) -> Any:
         """Map a unit-interval position back into the domain."""
 
+    def from_unit_many(self, u: Sequence[float]) -> list[Any]:
+        """Vectorized :meth:`from_unit` over a batch of unit positions."""
+        return [self.from_unit(float(v)) for v in np.asarray(u, dtype=float)]
+
     # -- neighbourhoods (annealing / GA / local search) --------------------
     @abstractmethod
     def neighbor(self, value: Any, rng: np.random.Generator, scale: float = 0.1) -> Any:
         """Return a value near ``value``; ``scale`` in (0, 1] sets the step."""
+
+    def neighbor_many(
+        self,
+        value: Any,
+        rng: np.random.Generator,
+        n: int,
+        scale: float | np.ndarray = 0.1,
+    ) -> list[Any]:
+        """Draw ``n`` neighbours of one value (``scale`` may be per-row).
+
+        Subclasses override with one vectorized draw; the fallback loops.
+        """
+        scales = np.broadcast_to(np.asarray(scale, dtype=float), (int(n),))
+        return [self.neighbor(value, rng, float(s)) for s in scales]
 
     @property
     def is_numeric(self) -> bool:
@@ -144,13 +170,34 @@ class _NumericParameter(Parameter):
         # (or collapse entirely for subnormal-scale bounds) outside the domain.
         return min(self.upper, max(self.lower, self._from_internal(lo + u * (hi - lo))))
 
+    def _unit_to_float_many(self, u: Sequence[float]) -> np.ndarray:
+        u = np.clip(np.asarray(u, dtype=float), 0.0, 1.0)
+        lo, hi = self._internal_bounds
+        internal = lo + u * (hi - lo)
+        v = np.exp(internal) if self.log else internal
+        return np.clip(v, self.lower, self.upper)
+
     def sample(self, rng: np.random.Generator) -> Any:
         return self.from_unit(self.prior.sample_unit(rng))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> list[Any]:
+        return self.from_unit_many(self.prior.sample_unit_many(rng, n))
 
     def neighbor(self, value: Any, rng: np.random.Generator, scale: float = 0.1) -> Any:
         u = self.to_unit(value)
         step = rng.normal(0.0, scale)
         return self.from_unit(min(1.0, max(0.0, u + step)))
+
+    def neighbor_many(
+        self,
+        value: Any,
+        rng: np.random.Generator,
+        n: int,
+        scale: float | np.ndarray = 0.1,
+    ) -> list[Any]:
+        u = self.to_unit(value)
+        steps = rng.normal(0.0, 1.0, size=int(n)) * np.asarray(scale, dtype=float)
+        return self.from_unit_many(np.clip(u + steps, 0.0, 1.0))
 
 
 class FloatParameter(_NumericParameter):
@@ -210,6 +257,13 @@ class FloatParameter(_NumericParameter):
     def from_unit(self, u: float) -> float:
         return self._quantize(self._unit_to_float(u))
 
+    def from_unit_many(self, u: Sequence[float]) -> list[float]:
+        v = self._unit_to_float_many(u)
+        if self.quantization is not None:
+            q = self.quantization
+            v = np.clip(np.round(v / q) * q, self.lower, self.upper)
+        return v.tolist()
+
 
 class IntegerParameter(_NumericParameter):
     """An integer knob, e.g. ``max_worker_processes`` or a buffer size in MB."""
@@ -241,6 +295,10 @@ class IntegerParameter(_NumericParameter):
         v = self._unit_to_float(u)
         return int(min(self.upper, max(self.lower, round(v))))
 
+    def from_unit_many(self, u: Sequence[float]) -> list[int]:
+        v = np.clip(np.round(self._unit_to_float_many(u)), self.lower, self.upper)
+        return [int(x) for x in v]
+
     def neighbor(self, value: Any, rng: np.random.Generator, scale: float = 0.1) -> int:
         candidate = super().neighbor(value, rng, scale)
         if candidate == value:
@@ -249,6 +307,21 @@ class IntegerParameter(_NumericParameter):
             candidate = int(value) + (1 if rng.random() < 0.5 else -1)
             candidate = min(self.upper, max(self.lower, candidate))
         return int(candidate)
+
+    def neighbor_many(
+        self,
+        value: Any,
+        rng: np.random.Generator,
+        n: int,
+        scale: float | np.ndarray = 0.1,
+    ) -> list[int]:
+        cands = np.asarray(super().neighbor_many(value, rng, n, scale))
+        stalled = cands == int(value)
+        if stalled.any():
+            # Same plateau escape as the scalar path, drawn as one batch.
+            step = np.where(rng.random(int(stalled.sum())) < 0.5, 1, -1)
+            cands[stalled] = np.clip(int(value) + step, self.lower, self.upper)
+        return [int(c) for c in cands]
 
 
 class CategoricalParameter(Parameter):
@@ -302,6 +375,10 @@ class CategoricalParameter(Parameter):
     def sample(self, rng: np.random.Generator) -> Any:
         return self.choices[int(rng.choice(len(self.choices), p=self.weights))]
 
+    def sample_many(self, rng: np.random.Generator, n: int) -> list[Any]:
+        idx = rng.choice(len(self.choices), size=int(n), p=self.weights)
+        return [self.choices[int(i)] for i in idx]
+
     def to_unit(self, value: Any) -> float:
         i = self.index_of(value)
         return (i + 0.5) / self.n_choices
@@ -318,6 +395,17 @@ class CategoricalParameter(Parameter):
     def neighbor(self, value: Any, rng: np.random.Generator, scale: float = 0.1) -> Any:
         others = [c for c in self.choices if c != value]
         return others[int(rng.integers(len(others)))]
+
+    def neighbor_many(
+        self,
+        value: Any,
+        rng: np.random.Generator,
+        n: int,
+        scale: float | np.ndarray = 0.1,
+    ) -> list[Any]:
+        others = [c for c in self.choices if c != value]
+        idx = rng.integers(len(others), size=int(n))
+        return [others[int(i)] for i in idx]
 
 
 class BooleanParameter(CategoricalParameter):

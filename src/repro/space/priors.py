@@ -29,6 +29,14 @@ class Prior(ABC):
     def sample_unit(self, rng: np.random.Generator) -> float:
         """Draw one position in the unit interval."""
 
+    def sample_unit_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` unit positions in one call.
+
+        Subclasses override with a single vectorized draw; the fallback
+        loops over :meth:`sample_unit`.
+        """
+        return np.array([self.sample_unit(rng) for _ in range(int(n))], dtype=float)
+
     @abstractmethod
     def pdf_unit(self, u: np.ndarray) -> np.ndarray:
         """Density at unit positions ``u`` (unnormalised is acceptable)."""
@@ -39,6 +47,9 @@ class UniformPrior(Prior):
 
     def sample_unit(self, rng: np.random.Generator) -> float:
         return float(rng.random())
+
+    def sample_unit_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.random(int(n))
 
     def pdf_unit(self, u: np.ndarray) -> np.ndarray:
         u = np.asarray(u, dtype=float)
@@ -66,6 +77,18 @@ class NormalPrior(Prior):
                 return float(x)
         return float(min(1.0, max(0.0, rng.normal(self.mean, self.std))))
 
+    def sample_unit_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        # Vectorized truncation: redraw the out-of-range tail in rounds, then
+        # clip whatever survives 64 rounds (same escape hatch as the scalar
+        # path, applied per position).
+        out = rng.normal(self.mean, self.std, size=int(n))
+        for _ in range(64):
+            bad = (out < 0.0) | (out > 1.0)
+            if not bad.any():
+                return out
+            out[bad] = rng.normal(self.mean, self.std, size=int(bad.sum()))
+        return np.clip(out, 0.0, 1.0)
+
     def pdf_unit(self, u: np.ndarray) -> np.ndarray:
         u = np.asarray(u, dtype=float)
         z = (u - self.mean) / self.std
@@ -84,6 +107,9 @@ class BetaPrior(Prior):
 
     def sample_unit(self, rng: np.random.Generator) -> float:
         return float(rng.beta(self.a, self.b))
+
+    def sample_unit_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.beta(self.a, self.b, size=int(n))
 
     def pdf_unit(self, u: np.ndarray) -> np.ndarray:
         u = np.asarray(u, dtype=float)
@@ -119,6 +145,11 @@ class HistogramPrior(Prior):
     def sample_unit(self, rng: np.random.Generator) -> float:
         i = int(rng.choice(self.n_bins, p=self.bin_weights))
         return float((i + rng.random()) / self.n_bins)
+
+    def sample_unit_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        n = int(n)
+        i = rng.choice(self.n_bins, size=n, p=self.bin_weights)
+        return (i + rng.random(n)) / self.n_bins
 
     def pdf_unit(self, u: np.ndarray) -> np.ndarray:
         u = np.asarray(u, dtype=float)

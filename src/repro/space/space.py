@@ -270,8 +270,45 @@ class ConfigurationSpace:
         )
 
     def sample_many(self, n: int, rng: np.random.Generator | None = None) -> list[Configuration]:
+        """Draw ``n`` feasible configurations with one vectorized pass per knob.
+
+        Every parameter column is drawn in a single batched call
+        (:meth:`Parameter.sample_many`), then rows are materialized once.
+        Spaces without conditions or constraints skip per-row validation
+        entirely — column draws are in-domain by construction; otherwise
+        rows go through :meth:`make` and constraint-violating rows are
+        redrawn in vectorized rounds (same rejection semantics and attempt
+        budget as :meth:`sample`).
+        """
         rng = rng if rng is not None else self._rng
-        return [self.sample(rng) for _ in range(n)]
+        n = int(n)
+        if n <= 0:
+            return []
+        names = list(self._params)
+        simple = not self._conditions and not self._constraints
+        all_active = frozenset(names)
+        out: list[Configuration] = []
+        attempts = 0
+        while len(out) < n:
+            batch = n - len(out)
+            if attempts + batch > self._MAX_SAMPLE_ATTEMPTS:
+                raise SamplingError(
+                    f"could not sample {n} feasible configurations from "
+                    f"{self.name!r} in {self._MAX_SAMPLE_ATTEMPTS} attempts; "
+                    "constraints may be unsatisfiable"
+                )
+            attempts += batch
+            cols = [p.sample_many(rng, batch) for p in self._params.values()]
+            for row in zip(*cols):
+                values = dict(zip(names, row))
+                if simple:
+                    out.append(Configuration(self, values, all_active))
+                    continue
+                try:
+                    out.append(self.make(values))
+                except ConstraintViolationError:
+                    continue
+        return out
 
     # -- encodings --------------------------------------------------------------
     def to_unit_array(self, config: Mapping[str, Any]) -> np.ndarray:
@@ -315,6 +352,56 @@ class ConfigurationSpace:
             except ConstraintViolationError:
                 continue
         return config
+
+    def neighbor_many(
+        self,
+        config: Configuration,
+        n: int,
+        rng: np.random.Generator | None = None,
+        scales: float | Sequence[float] = 0.1,
+    ) -> list[Configuration]:
+        """Draw ``n`` single-knob perturbations of ``config`` in one pass.
+
+        Each row moves one uniformly chosen active knob; ``scales`` may be a
+        scalar or one step size per row (candidate generators mix tight and
+        loose local moves this way). Knob draws are grouped so every
+        parameter perturbs its rows with a single vectorized call. Rows that
+        violate a constraint fall back to ``config`` itself, mirroring
+        :meth:`neighbor`'s give-up behaviour without per-row retry loops.
+        """
+        rng = rng if rng is not None else self._rng
+        n = int(n)
+        if n <= 0:
+            return []
+        active = sorted(config.active)
+        if not active:
+            return [config] * n
+        scale_rows = np.broadcast_to(np.asarray(scales, dtype=float), (n,))
+        moved = rng.integers(len(active), size=n)
+        new_vals: dict[int, list[Any]] = {}
+        for k, name in enumerate(active):
+            rows = np.nonzero(moved == k)[0]
+            if len(rows) == 0:
+                continue
+            vals = self._params[name].neighbor_many(
+                config[name], rng, len(rows), scale_rows[rows]
+            )
+            new_vals.update(zip(rows.tolist(), vals))
+        base = config.as_dict()
+        simple = not self._conditions and not self._constraints
+        out: list[Configuration] = []
+        for i in range(n):
+            name = active[int(moved[i])]
+            values = dict(base)
+            values[name] = new_vals[i]
+            if simple:
+                out.append(Configuration(self, values, config.active))
+                continue
+            try:
+                out.append(self.make(values))
+            except ConstraintViolationError:
+                out.append(config)
+        return out
 
     # -- grids ----------------------------------------------------------------------
     def grid(self, points_per_dim: int = 5, max_points: int = 100_000) -> list[Configuration]:

@@ -14,6 +14,12 @@ replay work depend on but nothing previously enforced:
   ``numpy.random.Generator`` objects. Mutating NumPy's module-global state
   (``np.random.seed`` + legacy draws), stdlib module-global ``random``
   calls, and unseeded ``default_rng()`` fallbacks all break that.
+* **AST204 — per-iteration space sampling in optimizer hot paths.** A
+  ``space.sample(...)``/``space.neighbor(...)`` call inside a ``for`` body
+  or comprehension under ``repro/optimizers/`` pays the whole
+  per-configuration Python overhead once per candidate; the batched
+  ``sample_many``/``neighbor_many`` equivalents draw every parameter
+  column vectorized.
 * **AST301 — swallowed exceptions in executor/service code.** A bare
   ``except:`` (or ``except Exception``) that neither re-raises nor leaves
   a trace in the event log / metrics turns crash-recovery bugs invisible.
@@ -43,6 +49,7 @@ AST_RULES: dict[str, tuple[Severity, str]] = {
     "AST201": (Severity.ERROR, "module-global NumPy RNG state mutation or legacy draw"),
     "AST202": (Severity.ERROR, "module-global stdlib random call"),
     "AST203": (Severity.WARNING, "unseeded np.random.default_rng() (non-replayable)"),
+    "AST204": (Severity.WARNING, "per-iteration space.sample/neighbor in an optimizer loop"),
     "AST301": (Severity.ERROR, "swallowed broad exception without re-raise or event emission"),
     "AST401": (Severity.ERROR, "span/event name not in the telemetry naming registry"),
 }
@@ -108,14 +115,23 @@ def _noqa_rules(source_lines: Sequence[str], lineno: int) -> set[str]:
 
 
 class _FileChecker(ast.NodeVisitor):
-    def __init__(self, path: str, source: str, in_service: bool, in_executor: bool) -> None:
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        in_service: bool,
+        in_executor: bool,
+        in_optimizers: bool = False,
+    ) -> None:
         self.path = path
         self.lines = source.splitlines()
         self.in_service = in_service
         self.in_executor = in_executor
+        self.in_optimizers = in_optimizers
         self.findings: list[Finding] = []
         self._async_depth = 0
         self._to_thread_depth = 0
+        self._loop_depth = 0
 
     # -- helpers -----------------------------------------------------------
     def _report(self, rule: str, node: ast.AST, message: str, hint: str = "") -> None:
@@ -147,12 +163,51 @@ class _FileChecker(ast.NodeVisitor):
         self.generic_visit(node)
         self._async_depth = saved
 
+    # -- loop scoping (for AST204) -----------------------------------------
+    def _visit_loop(self, node: ast.For | ast.AsyncFor | ast.While) -> None:
+        # The iterable/condition evaluates once, outside the per-iteration
+        # scope; only the body (and orelse) repeats.
+        if isinstance(node, ast.While):
+            self.visit(node.test)
+        else:
+            self.visit(node.target)
+            self.visit(node.iter)
+        self._loop_depth += 1
+        for stmt in [*node.body, *node.orelse]:
+            self.visit(stmt)
+        self._loop_depth -= 1
+
+    visit_For = visit_AsyncFor = visit_While = _visit_loop
+
+    def _visit_comprehension(
+        self, node: ast.ListComp | ast.SetComp | ast.GeneratorExp | ast.DictComp
+    ) -> None:
+        # The first generator's source iterable evaluates once; element
+        # expressions, ifs, and nested iterables run per item.
+        self.visit(node.generators[0].iter)
+        self._loop_depth += 1
+        for gen in node.generators:
+            self.visit(gen.target)
+            for cond in gen.ifs:
+                self.visit(cond)
+        for gen in node.generators[1:]:
+            self.visit(gen.iter)
+        if isinstance(node, ast.DictComp):
+            self.visit(node.key)
+            self.visit(node.value)
+        else:
+            self.visit(node.elt)
+        self._loop_depth -= 1
+
+    visit_ListComp = visit_SetComp = visit_GeneratorExp = visit_DictComp = _visit_comprehension
+
     # -- calls -------------------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         dotted = _dotted(node.func)
         tail = dotted.rsplit(".", 1)[-1]
         self._check_rng(node, dotted, tail)
         self._check_span_names(node, dotted, tail)
+        self._check_loop_sampling(node, dotted, tail)
         if self._async_depth > 0 and self._to_thread_depth == 0:
             self._check_blocking(node, dotted, tail)
         # Arguments of asyncio.to_thread / loop.run_in_executor execute on a
@@ -214,6 +269,25 @@ class _FileChecker(ast.NodeVisitor):
                 "plumb a seed (or rng) parameter down to this call",
             )
 
+    def _check_loop_sampling(self, node: ast.Call, dotted: str, tail: str) -> None:
+        if not self.in_optimizers or self._loop_depth == 0:
+            return
+        if tail not in {"sample", "neighbor"}:
+            return
+        parts = dotted.split(".")
+        # Match space.sample / self.space.neighbor — the receiver must be a
+        # configuration space, not e.g. random.sample or a list method.
+        if len(parts) < 2 or parts[-2] != "space":
+            return
+        batched = "sample_many" if tail == "sample" else "neighbor_many"
+        self._report(
+            "AST204", node,
+            f"{dotted}(...) inside a loop/comprehension draws one configuration "
+            "per Python iteration — the candidate-generation tail the vectorized "
+            "space API exists to remove",
+            f"draw the whole batch at once with space.{batched}(...)",
+        )
+
     def _check_span_names(self, node: ast.Call, dotted: str, tail: str) -> None:
         if tail not in {"span", "emit_event"} or not node.args:
             return
@@ -274,6 +348,7 @@ def lint_source(
     posix = Path(path).as_posix()
     in_service = "repro/service" in posix
     in_executor = "repro/execution" in posix
+    in_optimizers = "repro/optimizers" in posix
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as err:
@@ -282,7 +357,7 @@ def lint_source(
             subject=f"{path}:{err.lineno or 0}", message=f"file does not parse: {err.msg}",
             hint="fix the syntax error",
         )]
-    checker = _FileChecker(path, source, in_service, in_executor)
+    checker = _FileChecker(path, source, in_service, in_executor, in_optimizers)
     checker.visit(tree)
     return checker.findings
 

@@ -103,3 +103,118 @@ class TestRandomForest:
     def test_validation(self):
         with pytest.raises(OptimizerError):
             RandomForestRegressor(n_trees=0)
+        with pytest.raises(OptimizerError):
+            RandomForestRegressor(builder="jit")
+        with pytest.raises(OptimizerError):
+            RandomForestRegressor(stale_fraction=0.0)
+
+
+def wavy(X):
+    """Continuous target with plenty of near-tie split decisions."""
+    return np.sin(X @ np.arange(1, X.shape[1] + 1)) + 0.5 * X[:, 0]
+
+
+class TestArrayBuilderParity:
+    """The vectorized level-wise grower must reproduce the recursive
+    builder: same bootstraps + same split decisions => same predictions."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_mean_and_std_match(self, rng, seed):
+        X = rng.random((160, 5))
+        y = wavy(X)
+        # max_features=None: feature subsampling draws rng in a different
+        # order per builder, so parity is defined on the full-feature path.
+        kw = dict(n_trees=8, seed=seed, max_features=None)
+        fa = RandomForestRegressor(builder="array", **kw).fit(X, y)
+        fr = RandomForestRegressor(builder="recursive", **kw).fit(X, y)
+        Xq = rng.random((50, 5))
+        m_a, s_a = fa.predict(Xq, return_std=True)
+        m_r, s_r = fr.predict(Xq, return_std=True)
+        np.testing.assert_allclose(m_a, m_r, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(s_a, s_r, rtol=1e-9, atol=1e-12)
+
+    def test_parity_survives_partial_fit(self, rng):
+        X = rng.random((120, 4))
+        y = wavy(X)
+        kw = dict(n_trees=6, seed=3, max_features=None)
+        fa = RandomForestRegressor(builder="array", **kw).fit(X[:100], y[:100])
+        fr = RandomForestRegressor(builder="recursive", **kw).fit(X[:100], y[:100])
+        fa.partial_fit(X[100:], y[100:])
+        fr.partial_fit(X[100:], y[100:])
+        Xq = rng.random((40, 4))
+        np.testing.assert_allclose(fa.predict(Xq), fr.predict(Xq), rtol=1e-9, atol=1e-12)
+
+
+class TestPartialFit:
+    def test_requires_fit_first(self):
+        with pytest.raises(NotFittedError):
+            RandomForestRegressor().partial_fit(np.zeros((1, 2)), np.zeros(1))
+
+    def test_feature_mismatch_rejected(self, data):
+        X, y = data
+        rf = RandomForestRegressor(n_trees=4, seed=0).fit(X, y)
+        with pytest.raises(OptimizerError, match="feature-count mismatch"):
+            rf.partial_fit(np.zeros((2, 5)), np.zeros(2))
+
+    def test_absorbs_new_data_without_full_regrow(self, data, rng):
+        X, y = data
+        rf = RandomForestRegressor(n_trees=16, seed=0).fit(X, y)
+        grown_before = rf.stats.trees_grown
+        Xn = rng.random((5, 2))
+        rf.partial_fit(Xn, step_function(Xn))
+        assert rf.stats.n_partial_fits == 1
+        # Bounded regrowth: far fewer than all 16 trees rebuilt for 5 rows.
+        assert rf.stats.trees_grown - grown_before < 16
+        Xq = rng.random((40, 2))
+        assert np.abs(rf.predict(Xq) - step_function(Xq)).mean() < 0.7
+
+    def test_stale_trees_regrow(self, data, rng):
+        X, y = data
+        rf = RandomForestRegressor(n_trees=8, seed=0, stale_fraction=0.05).fit(X, y)
+        grown_before = rf.stats.trees_grown
+        Xn = rng.random((30, 2))  # 25% of the data: every tree goes stale
+        rf.partial_fit(Xn, step_function(Xn))
+        assert rf.stats.trees_grown - grown_before == 8
+
+
+class TestFantasies:
+    def test_fantasy_moves_prediction_and_clear_restores_exactly(self, data):
+        X, y = data
+        rf = RandomForestRegressor(n_trees=8, seed=0).fit(X, y)
+        xq = X[:1]
+        m0, s0 = rf.predict(xq, return_std=True)
+        rf.add_fantasy(xq[0], float(y.min()) - 10.0)
+        m1, _ = rf.predict(xq, return_std=True)
+        assert m1[0] < m0[0]  # the low lie drags the routed leaves down
+        assert rf.stats.pending_fantasies == 1
+        rf.clear_fantasies()
+        assert rf.stats.pending_fantasies == 0
+        m2, s2 = rf.predict(xq, return_std=True)
+        assert m2[0] == m0[0] and s2[0] == s0[0]  # bit-exact restore
+
+    def test_route_leaves_valid_across_fantasies(self, data):
+        X, y = data
+        rf = RandomForestRegressor(n_trees=8, seed=0).fit(X, y)
+        leaves = rf.route_leaves(X[:5])
+        rf.add_fantasy(X[0], 0.0)
+        # Fantasies touch leaf stats only — the routing is unchanged, and
+        # predict_from_leaves sees the fantasized posterior.
+        assert np.array_equal(rf.route_leaves(X[:5]), leaves)
+        m_cached, s_cached = rf.predict_from_leaves(leaves)
+        m_fresh, s_fresh = rf.predict(X[:5], return_std=True)
+        assert np.array_equal(m_cached, m_fresh)
+        assert np.array_equal(s_cached, s_fresh)
+
+    def test_fit_discards_pending_fantasies(self, data):
+        X, y = data
+        rf = RandomForestRegressor(n_trees=4, seed=0).fit(X, y)
+        rf.add_fantasy(X[0], -5.0)
+        rf.fit(X, y)
+        assert rf.stats.pending_fantasies == 0
+        assert rf.stats.fantasies_total == 1
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            RandomForestRegressor().add_fantasy(np.zeros(2), 0.0)
+        with pytest.raises(NotFittedError):
+            RandomForestRegressor().route_leaves(np.zeros((1, 2)))

@@ -141,6 +141,44 @@ class TestWireContract:
 
         run(main())
 
+    def test_ask_count_alias_and_batch_metrics(self):
+        async def main():
+            server, client = await start_server(MemoryTrialStore())
+            try:
+                await client.create_session(
+                    space=small_space_spec(), optimizer="smac", max_trials=20,
+                    session_id="b1", seed=2,
+                    objectives=[{"name": "loss", "minimize": True}],
+                    optimizer_options={"n_init": 2, "n_trees": 4, "n_candidates": 16},
+                )
+                # "count" is the wire alias for "n" on /ask
+                data = await client.request(
+                    "POST", "/sessions/b1/ask", {"count": 3}
+                )
+                suggestions = data["suggestions"]
+                assert len(suggestions) == 3
+                with pytest.raises(ServiceError) as err:
+                    await client.request(
+                        "POST", "/sessions/b1/ask", {"n": 2, "count": 2}
+                    )
+                assert err.value.status == 400
+                assert "not both" in str(err.value)
+                for s in suggestions:
+                    await client.tell("b1", TrialReport(
+                        config=s["config"], metrics={"loss": 1.0}, ask_id=s["ask_id"],
+                    ))
+                # Past n_init: a batched ask hits the surrogate and its
+                # counters land on /metrics as gauges.
+                await client.ask("b1", n=2)
+                text = await client.metrics()
+                assert "service_asks_batched" in text
+                assert "surrogate_n_fits" in text
+                assert "surrogate_pending_fantasies 0" in text
+            finally:
+                await server.stop()
+
+        run(main())
+
     def test_metrics_endpoint(self):
         async def main():
             server, client = await start_server(MemoryTrialStore())

@@ -48,6 +48,72 @@ class TestSMAC:
         batch = opt.suggest(4)
         assert len(batch) == 4
 
+    def test_interleave_counts_model_phase_only(self):
+        """The n_init random phase must not shift the interleave cycle."""
+        for n_init in (2, 3, 4, 5):
+            opt = SMACOptimizer(bowl_space(1), n_init=n_init, interleave=3, seed=0)
+            for _ in range(n_init):
+                c = opt.suggest(1)[0]
+                opt.observe(c, quadratic_evaluator()(c)[0])
+            # Whatever n_init was, no model-guided suggestion has happened
+            # yet, so the counter starts the cycle at zero.
+            assert opt._suggestion_count == 0
+            for _ in range(4):
+                c = opt.suggest(1)[0]
+                opt.observe(c, quadratic_evaluator()(c)[0])
+            assert opt._suggestion_count == 4
+
+    def test_surrogate_stats_exposes_forest_counters(self):
+        opt = SMACOptimizer(bowl_space(2), n_init=3, n_candidates=32, n_trees=6, seed=0)
+        for _ in range(6):
+            c = opt.suggest(1)[0]
+            opt.observe(c, quadratic_evaluator()(c)[0])
+        stats = opt.surrogate_stats()
+        for key in ("fit_ms", "predict_ms", "n_fits", "n_partial_fits",
+                    "n_trees", "n_nodes", "trees_grown",
+                    "pending_fantasies", "fantasies_total",
+                    "encode_cache_hits", "encode_cache_misses"):
+            assert key in stats, key
+        assert stats["n_fits"] >= 1
+        assert stats["n_trees"] == 6
+
+    def test_refit_cadence_uses_partial_fit(self):
+        opt = SMACOptimizer(bowl_space(2), n_init=4, interleave=0, refit_every=8,
+                            n_candidates=32, n_trees=6, seed=0)
+        for _ in range(10):
+            c = opt.suggest(1)[0]
+            opt.observe(c, quadratic_evaluator()(c)[0])
+        stats = opt.surrogate_stats()
+        # One cold fit when the surrogate takes over, warm updates after.
+        assert stats["n_fits"] == 1
+        assert stats["n_partial_fits"] >= 4
+
+    def test_batch_suggest_fantasizes_and_cleans_up(self):
+        opt = SMACOptimizer(bowl_space(2), n_init=4, interleave=0,
+                            n_candidates=64, n_trees=6, seed=0)
+        for _ in range(6):
+            c = opt.suggest(1)[0]
+            opt.observe(c, quadratic_evaluator()(c)[0])
+        batch = opt.suggest(5)
+        assert len(batch) == 5
+        # Constant-liar deflation pushes picks apart: no duplicates.
+        assert len({tuple(sorted(c.items())) for c in batch}) == 5
+        stats = opt.surrogate_stats()
+        assert stats["fantasies_total"] >= 4
+        assert stats["pending_fantasies"] == 0  # always discarded after the batch
+
+    def test_batch_suggest_deterministic_given_seed(self):
+        def run():
+            opt = SMACOptimizer(bowl_space(2), n_init=4, n_candidates=64,
+                                n_trees=6, seed=11)
+            rng = np.random.default_rng(1)
+            for _ in range(6):
+                c = opt.space.sample(rng)
+                opt.observe(c, quadratic_evaluator()(c)[0])
+            return [dict(c) for c in opt.suggest(6)]
+
+        assert run() == run()
+
     def test_validation(self):
         with pytest.raises(OptimizerError):
             SMACOptimizer(bowl_space(1), n_init=0)

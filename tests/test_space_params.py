@@ -199,3 +199,60 @@ class TestBooleanParameter:
         p = BooleanParameter("flag")
         assert p.from_unit(p.to_unit(True)) is True
         assert p.from_unit(p.to_unit(False)) is False
+
+
+class TestBatchedSampling:
+    """`sample_many` / `from_unit_many` / `neighbor_many` must agree with
+    their scalar counterparts: same value types, same bounds, same
+    quantization — only drawn in one vectorized sweep."""
+
+    def test_float_sample_many_types_and_bounds(self, rng):
+        p = FloatParameter("x", 0.5, 4.5, quantization=0.5)
+        values = p.sample_many(rng, 200)
+        assert len(values) == 200
+        assert all(type(v) is float for v in values)
+        assert all(0.5 <= v <= 4.5 for v in values)
+        assert all((v / 0.5) == int(v / 0.5) for v in values)  # on the grid
+
+    def test_float_from_unit_many_matches_scalar(self):
+        p = FloatParameter("x", 1.0, 1000.0, log=True)
+        u = np.linspace(0.0, 1.0, 17)
+        batch = p.from_unit_many(u)
+        assert batch == [p.from_unit(float(ui)) for ui in u]
+
+    def test_int_sample_many_matches_scalar_path_types(self, rng):
+        p = IntegerParameter("n", 1, 64, log=True)
+        values = p.sample_many(rng, 100)
+        assert all(type(v) is int for v in values)
+        assert all(1 <= v <= 64 for v in values)
+
+    def test_int_neighbor_many_escapes_plateau(self, rng):
+        # A tiny scale on a wide integer range rounds back to the same
+        # value; the batched neighbor must still move, like the scalar one.
+        p = IntegerParameter("n", 0, 10**6)
+        neighbors = p.neighbor_many(500_000, rng, 50, 1e-9)
+        assert all(v != 500_000 for v in neighbors)
+        assert all(abs(v - 500_000) <= 1 for v in neighbors)
+
+    def test_categorical_sample_many_respects_weights(self, rng):
+        p = CategoricalParameter("m", ["a", "b", "c"], weights=[0.8, 0.1, 0.1])
+        values = p.sample_many(rng, 500)
+        assert values.count("a") > 300
+
+    def test_categorical_neighbor_many_always_moves(self, rng):
+        p = CategoricalParameter("m", ["a", "b", "c"])
+        neighbors = p.neighbor_many("b", rng, 60, 0.3)
+        assert set(neighbors) <= {"a", "c"}
+
+    def test_neighbor_many_accepts_per_sample_scales(self, rng):
+        p = FloatParameter("x", 0.0, 1.0)
+        scales = np.array([1e-4] * 40 + [0.5] * 40)
+        neighbors = np.asarray(p.neighbor_many(0.5, rng, 80, scales))
+        assert np.abs(neighbors[:40] - 0.5).max() < 0.01
+        assert np.abs(neighbors[40:] - 0.5).mean() > 0.05
+
+    def test_sample_many_deterministic(self):
+        p = FloatParameter("x", 0.0, 1.0)
+        a = p.sample_many(np.random.default_rng(2), 16)
+        b = p.sample_many(np.random.default_rng(2), 16)
+        assert a == b

@@ -94,3 +94,29 @@ class TestPriorOnParameter:
         p = FloatParameter("x", 1.0, 10_000.0, log=True, prior=NormalPrior(0.75, 0.05))
         xs = np.array([p.sample(rng) for _ in range(200)])
         assert np.median(xs) == pytest.approx(10_000 ** 0.75, rel=0.5)
+
+
+class TestSampleUnitMany:
+    @pytest.mark.parametrize("prior", [
+        UniformPrior(),
+        NormalPrior(0.5, 0.2),
+        BetaPrior(2.0, 5.0),
+        HistogramPrior.from_samples([0.1, 0.2, 0.8, 0.9], n_bins=4),
+    ])
+    def test_batch_in_unit_interval(self, prior, rng):
+        u = prior.sample_unit_many(rng, 300)
+        assert u.shape == (300,)
+        assert np.all((u >= 0.0) & (u <= 1.0))
+
+    def test_batch_matches_scalar_distribution(self, rng):
+        prior = NormalPrior(0.7, 0.1)
+        batch = prior.sample_unit_many(rng, 3000)
+        scalar = np.array([prior.sample_unit(rng) for _ in range(3000)])
+        assert abs(batch.mean() - scalar.mean()) < 0.02
+        assert abs(batch.std() - scalar.std()) < 0.02
+
+    def test_truncated_normal_tail_redrawn(self, rng):
+        # A prior centred far outside the unit box still yields valid draws.
+        prior = NormalPrior(0.01, 0.05)
+        u = prior.sample_unit_many(rng, 1000)
+        assert np.all((u >= 0.0) & (u <= 1.0))

@@ -133,6 +133,32 @@ class TestSampling:
         configs = simple_space.sample_many(10, rng)
         assert len(configs) == 10
 
+    def test_sample_many_valid_and_typed(self, simple_space, rng):
+        """The vectorized path must emit the same python-scalar value types
+        the per-config path does."""
+        for cfg in simple_space.sample_many(30, rng):
+            assert type(cfg["x"]) is float
+            assert type(cfg["n"]) is int
+            assert cfg["mode"] in ("a", "b", "c")
+            assert simple_space.is_feasible(cfg)
+
+    def test_sample_many_respects_constraints(self, conditional_space, rng):
+        for cfg in conditional_space.sample_many(40, rng):
+            assert conditional_space.is_feasible(cfg)
+            assert cfg["chunk"] <= cfg["pool"] / cfg["instances"] + 1e-9
+
+    def test_sample_many_deterministic(self, simple_space):
+        a = simple_space.sample_many(8, np.random.default_rng(5))
+        b = simple_space.sample_many(8, np.random.default_rng(5))
+        assert [dict(c) for c in a] == [dict(c) for c in b]
+
+    def test_sample_many_unsatisfiable_raises(self):
+        space = ConfigurationSpace("bad")
+        space.add(FloatParameter("x", 0, 1))
+        space.add_constraint(CallableConstraint(lambda v: False, name="never"))
+        with pytest.raises(SamplingError):
+            space.sample_many(4)
+
 
 class TestEncoding:
     def test_roundtrip_unit_array(self, simple_space, rng):
@@ -170,6 +196,29 @@ class TestNeighbors:
             if simple_space.neighbor(cfg, rng, scale=0.3) != cfg
         )
         assert changed >= 15
+
+    def test_neighbor_many_feasible_and_local(self, conditional_space, rng):
+        cfg = conditional_space.sample(rng)
+        neighbors = conditional_space.neighbor_many(cfg, 30, rng, scales=0.2)
+        assert len(neighbors) == 30
+        for nb in neighbors:
+            assert conditional_space.is_feasible(nb)
+
+    def test_neighbor_many_per_sample_scales(self, simple_space, rng):
+        cfg = simple_space.default_configuration()
+        scales = np.concatenate([np.full(25, 0.01), np.full(25, 0.5)])
+        neighbors = simple_space.neighbor_many(cfg, 50, rng, scales=scales)
+        def dist(nb):
+            return abs(simple_space["x"].to_unit(nb["x"]) - simple_space["x"].to_unit(cfg["x"]))
+        small = np.mean([dist(nb) for nb in neighbors[:25]])
+        large = np.mean([dist(nb) for nb in neighbors[25:]])
+        assert small < large
+
+    def test_neighbor_many_deterministic(self, simple_space):
+        cfg = simple_space.default_configuration()
+        a = simple_space.neighbor_many(cfg, 10, np.random.default_rng(3), scales=0.2)
+        b = simple_space.neighbor_many(cfg, 10, np.random.default_rng(3), scales=0.2)
+        assert [dict(c) for c in a] == [dict(c) for c in b]
 
 
 class TestGrid:

@@ -278,3 +278,88 @@ class TestReportAndPaths:
     def test_rule_catalog_is_well_formed(self):
         for rule, (severity, desc) in AST_RULES.items():
             assert rule.startswith("AST") and isinstance(severity, Severity) and desc
+
+
+class TestLoopSampling:
+    """AST204: per-iteration space.sample/neighbor in optimizer loops."""
+
+    OPT = "src/repro/optimizers/mod.py"
+
+    def test_sample_in_for_loop(self):
+        findings = lint("""
+            def suggest(self):
+                out = []
+                for _ in range(512):
+                    out.append(self.space.sample(self.rng))
+                return out
+        """, path=self.OPT)
+        assert rules_of(findings) == ["AST204"]
+        assert findings[0].severity is Severity.WARNING
+        assert "sample_many" in findings[0].hint
+
+    def test_neighbor_in_comprehension(self):
+        findings = lint("""
+            def candidates(self, best):
+                return [self.space.neighbor(best, self.rng) for _ in range(64)]
+        """, path=self.OPT)
+        assert rules_of(findings) == ["AST204"]
+        assert "neighbor_many" in findings[0].hint
+
+    def test_while_loop_flagged(self):
+        findings = lint("""
+            def fill(self):
+                while len(self.pool) < 10:
+                    self.pool.append(self.space.sample(self.rng))
+        """, path=self.OPT)
+        assert rules_of(findings) == ["AST204"]
+
+    def test_single_draw_outside_loop_clean(self):
+        findings = lint("""
+            def suggest(self):
+                return self.space.sample(self.rng)
+        """, path=self.OPT)
+        assert findings == []
+
+    def test_loop_iterable_evaluates_once(self):
+        # The iterable expression runs once, before the loop body.
+        findings = lint("""
+            def walk(self):
+                for knob in self.space.sample(self.rng):
+                    use(knob)
+        """, path=self.OPT)
+        assert findings == []
+
+    def test_batched_calls_clean(self):
+        findings = lint("""
+            def suggest(self):
+                for _ in range(3):
+                    cands = self.space.sample_many(512, self.rng)
+                return cands
+        """, path=self.OPT)
+        assert findings == []
+
+    def test_non_space_receiver_clean(self):
+        # random.sample / list methods named sample are not the space API.
+        findings = lint("""
+            def pick(self, population):
+                for _ in range(4):
+                    yield self.sampler.sample(population)
+        """, path=self.OPT)
+        assert findings == []
+
+    def test_non_optimizer_paths_exempt(self):
+        findings = lint("""
+            def suggest(self):
+                for _ in range(512):
+                    yield self.space.sample(self.rng)
+        """, path="src/repro/analysis/mod.py")
+        assert findings == []
+
+    def test_noqa_suppression_accounted(self):
+        findings = lint("""
+            def suggest(self):
+                for _ in range(2):
+                    yield self.space.sample(self.rng)  # repro: noqa AST204
+        """, path=self.OPT)
+        assert rules_of(findings) == []
+        assert rules_of(findings, include_suppressed=True) == ["AST204"]
