@@ -9,6 +9,8 @@ need a Python file:
 * ``game``       — play one autotuner round of the Spark tuning game
 * ``trace``      — analyze a trace written by ``tune``/``compare --trace-out``
 * ``serve``      — run the durable multi-session tuning service (HTTP)
+* ``replay``     — re-execute a journaled session and verify it bit-exactly
+  against its journal (provenance-driven deterministic replay)
 * ``lint``       — static analysis: ``lint code`` (AST invariants over
   source trees) and ``lint space`` (configuration-space lint of
   registered target systems); see ``docs/static-analysis.md``
@@ -236,6 +238,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Re-execute a journaled session and verify it against the journal."""
+    from .core.manager import SessionManager
+    from .core.stores import open_store
+
+    with SessionManager(open_store(args.store, backend=args.backend)) as manager:
+        report = manager.replay_session(args.session_id)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
+
+
 def _cmd_lint_code(args: argparse.Namespace) -> int:
     """AST-lint source paths with the repro invariant checkers."""
     from .staticcheck import lint_paths
@@ -340,6 +356,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--step-workers", type=int, default=4,
                    help="thread pool size for server-side /step evaluation")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("replay", help="re-execute a journaled session and verify it bit-exactly")
+    p.add_argument("session_id", help="session to replay (see 'GET /sessions' or the store)")
+    p.add_argument("--store", required=True,
+                   help="store path: directory (JSON journal) or *.sqlite file")
+    p.add_argument("--backend", choices=("json", "sqlite"), default=None,
+                   help="force a backend (default: inferred from --store path)")
+    p.add_argument("--json", action="store_true", help="print the report as JSON")
+    p.set_defaults(func=_cmd_replay)
 
     p = sub.add_parser("lint", help="static analysis: AST invariants and space lint")
     lint_sub = p.add_subparsers(dest="lint_command", required=True)

@@ -12,7 +12,8 @@ from .codec import (
 from .evaluation import EvaluationResult, coerce_evaluation, run_evaluation
 from .journal import AppendResult, SessionMeta, StorageError, TrialStore, import_legacy_trials, new_session_id
 from .manager import SessionManager, make_optimizer, optimizer_names
-from .optimizer import History, Objective, Optimizer, Trial, TrialStatus
+from .optimizer import History, Objective, Optimizer, Trial, TrialStatus, rng_digest
+from .replay import ReplayDivergence, ReplayReport, replay_session
 from .result import TuningResult
 from .storage import (
     load_prior_bank,
@@ -60,6 +61,10 @@ __all__ = [
     "Optimizer",
     "Trial",
     "TrialStatus",
+    "rng_digest",
+    "ReplayDivergence",
+    "ReplayReport",
+    "replay_session",
     "TuningResult",
     "load_prior_bank",
     "load_trials",

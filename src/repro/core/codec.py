@@ -213,11 +213,22 @@ def report_from_trial(trial: Trial, report_id: str | None = None) -> TrialReport
 # -- trial records (journal / legacy files) ----------------------------------
 
 
-def encode_trial(trial: Trial, report_id: str | None = None) -> dict[str, Any]:
+def encode_trial(
+    trial: Trial,
+    report_id: str | None = None,
+    provenance: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
     """The canonical JSON-safe record of one trial.
 
     Supersedes ``storage.trial_to_dict`` (kept as a thin alias); the same
     shape is appended to journals and returned over the wire.
+
+    ``provenance`` (or, failing that, ``trial.provenance``) is journaled
+    under a ``"provenance"`` key: seed lineage, optimizer state digest,
+    space version hash, ask-batch coordinates, executor attempt history,
+    library version, and parent trace id — everything ``repro replay``
+    needs to re-execute the session bit-exactly and to pinpoint the first
+    divergence when it cannot.
     """
     record = {
         "trial_id": trial.trial_id,
@@ -230,6 +241,9 @@ def encode_trial(trial: Trial, report_id: str | None = None) -> dict[str, Any]:
     }
     if report_id is not None:
         record["report_id"] = report_id
+    lineage = provenance if provenance is not None else trial.provenance
+    if lineage is not None:
+        record["provenance"] = json_safe(lineage)
     return record
 
 
@@ -250,6 +264,7 @@ def decode_trial(record: Mapping[str, Any], space: ConfigurationSpace) -> Trial:
             cost=float(record.get("cost", 1.0)),
             fidelity=record.get("fidelity"),
             context=dict(record.get("context", {})),
+            provenance=None if record.get("provenance") is None else dict(record["provenance"]),
         )
     except (KeyError, ValueError, TypeError) as err:
         raise ReproError(f"malformed trial record: {err}") from err

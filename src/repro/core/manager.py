@@ -34,6 +34,7 @@ from .session import Evaluator, TuningSession
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..execution import TrialExecutor
     from .callbacks import Callback
+    from .replay import ReplayReport
 
 __all__ = ["SessionManager", "make_optimizer", "optimizer_names"]
 
@@ -235,8 +236,13 @@ class SessionManager:
         )
         records = self.store.load_trials(session_id)
         report_ids: dict[str, int] = {}
+        # Records without provenance (pre-provenance journals) count as
+        # epoch 0, so any resume over a non-empty journal starts a new one.
+        max_epoch = 0 if records else -1
         for record in records:
             trial = decode_trial(record, space)
+            if trial.provenance is not None:
+                max_epoch = max(max_epoch, int(trial.provenance.get("epoch", 0)))
             replayed = opt.observe(
                 trial.config,
                 trial.metrics,
@@ -264,6 +270,11 @@ class SessionManager:
             session_id=session_id,
         )
         session._report_trial_ids.update(report_ids)
+        # Every resume is a new epoch: this process's RNG stream starts
+        # fresh from the journal prefix, and the untold asks of the dead
+        # process are unrecoverable. Journaling the epoch per trial lets
+        # ``repro replay`` simulate exactly these boundaries.
+        session.epoch = max_epoch + 1
         return session
 
     def open(
@@ -315,6 +326,21 @@ class SessionManager:
             "best_config": best_config,
             "optimizer": meta.optimizer.get("name"),
         }
+
+    def replay_session(self, session_id: str, trace: Any = None) -> "ReplayReport":
+        """Re-execute a journaled session and verify it bit-exactly.
+
+        See :func:`repro.core.replay.replay_session` (the engine behind
+        ``repro replay``): per journaled epoch a fresh optimizer is built
+        from the stored spec, every suggest call is re-executed at its
+        recorded history position, crash imputations are re-run, and the
+        state digests are compared record by record. Returns a
+        :class:`~repro.core.replay.ReplayReport`; the first mismatch is
+        reported as its ``divergence``, never raised.
+        """
+        from .replay import replay_session
+
+        return replay_session(self.store, session_id, trace=trace)
 
     def complete(self, session_id: str) -> None:
         """Mark a session finished (it can still be resumed read-only)."""

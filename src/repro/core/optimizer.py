@@ -11,6 +11,8 @@ with any of them.
 from __future__ import annotations
 
 import enum
+import hashlib
+import json
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
@@ -20,7 +22,38 @@ import numpy as np
 from ..exceptions import OptimizerError
 from ..space import Configuration, ConfigurationSpace
 
-__all__ = ["TrialStatus", "Objective", "Trial", "History", "Optimizer"]
+__all__ = ["TrialStatus", "Objective", "Trial", "History", "Optimizer", "rng_digest"]
+
+
+def _canon(value: Any) -> Any:
+    """JSON-canonical form of a value for digesting (numpy → Python)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if hasattr(value, "item") and not isinstance(value, Mapping):
+        try:
+            return value.item()
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, Mapping):
+        return {str(k): _canon(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_canon(v) for v in value]
+    return str(value)
+
+
+def _digest(payload: Any, length: int = 12) -> str:
+    text = json.dumps(_canon(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:length]
+
+
+def rng_digest(rng: np.random.Generator) -> str:
+    """Short, stable digest of a Generator's full bit-generator state.
+
+    Two generators with equal digests produce identical draw streams — the
+    provenance layer journals this per trial so ``repro replay`` can prove
+    (or pinpoint the loss of) bit-exact determinism.
+    """
+    return _digest(rng.bit_generator.state)
 
 
 class TrialStatus(enum.Enum):
@@ -62,6 +95,10 @@ class Trial:
     cost: float = 0.0  # resource cost of the trial (e.g. benchmark seconds)
     fidelity: float | None = None  # multi-fidelity level, None = full fidelity
     context: dict[str, Any] = field(default_factory=dict)  # workload / machine / etc.
+    #: Journal-level lineage (seed, optimizer state digest, space version,
+    #: ask batch, trace id …) attached when the trial is journaled /
+    #: decoded; ``None`` for trials that never crossed a journal.
+    provenance: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -218,10 +255,15 @@ class Optimizer(ABC):
                 f"{type(self).__name__} is single-objective; use ParEGOOptimizer "
                 "or scalarize the objectives first"
             )
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.history = History(self.objectives)
         self.crash_penalty_factor = float(crash_penalty_factor)
         self._next_trial_id = 0
+        # Running digest over everything this optimizer has observed, in
+        # order — part of :meth:`state_digest`. Incremental (one sha256
+        # update per observe), so journaling provenance stays O(1)/trial.
+        self._history_sha = hashlib.sha256()
 
     @property
     def objective(self) -> Objective:
@@ -281,6 +323,7 @@ class Optimizer(ABC):
                         f"completed trial is missing objective metric {obj.name!r}; got {sorted(trial.metrics)}"
                     )
         self.history.add(trial)
+        self._update_history_sha(trial)
         self._on_observe(trial)
         return trial
 
@@ -319,6 +362,7 @@ class Optimizer(ABC):
         )
         self._next_trial_id += 1
         self.history.add(trial)
+        self._update_history_sha(trial)
         self._on_observe_failure(trial)
         return trial
 
@@ -328,6 +372,54 @@ class Optimizer(ABC):
     def _on_observe_failure(self, trial: Trial) -> None:
         """Hook: by default failures (with imputed metrics) train the model too."""
         self._on_observe(trial)
+
+    # -- provenance ---------------------------------------------------------------
+    def _update_history_sha(self, trial: Trial) -> None:
+        text = json.dumps(
+            _canon(
+                [
+                    trial.trial_id,
+                    trial.config.as_dict(),
+                    trial.metrics,
+                    trial.status.value,
+                    trial.cost,
+                ]
+            ),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        self._history_sha.update(text.encode("utf-8"))
+
+    def _digest_state(self) -> dict[str, Any]:
+        """Hook: model counters folded into :meth:`state_digest`.
+
+        Subclasses return the internal-state summary that should be
+        provenance-visible (fit counts, pending lies, per-arm pulls, …).
+        An empty dict (the default) omits the ``model`` component.
+        """
+        return {}
+
+    def state_digest_parts(self) -> dict[str, str]:
+        """Named digest components, so replay can report *which* part diverged.
+
+        ``rng`` covers the full bit-generator state, ``history`` is the
+        running hash over every observed trial, and ``model`` (when a
+        subclass implements :meth:`_digest_state`) covers surrogate/model
+        counters.
+        """
+        parts = {
+            "rng": rng_digest(self.rng),
+            "history": self._history_sha.hexdigest()[:12],
+        }
+        state = self._digest_state()
+        if state:
+            parts["model"] = _digest(state)
+        return parts
+
+    def state_digest(self) -> str:
+        """One opaque token summarising the optimizer's deterministic state."""
+        parts = self.state_digest_parts()
+        return _digest("|".join(f"{k}={parts[k]}" for k in sorted(parts)), length=16)
 
     # -- warm start --------------------------------------------------------------
     def warm_start(self, trials: Iterable[Trial]) -> int:

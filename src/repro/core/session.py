@@ -37,7 +37,7 @@ from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from ..exceptions import OptimizerError
 from ..space import Configuration
-from ..telemetry.spans import span, trial_scope
+from ..telemetry.spans import current_trace_id, span, trial_scope
 from .callbacks import Callback
 from .codec import SuggestRequest, Suggestion, TrialReport, config_from_values, encode_trial, json_safe
 from .evaluation import coerce_evaluation
@@ -122,6 +122,14 @@ class TuningSession:
         self._next_ask_id = 0
         self._pending_asks: dict[int, Configuration] = {}
         self._report_trial_ids: dict[str, int] = {}  # report_id -> trial_id (tell idempotency)
+        #: Resume generation: 0 for a fresh session, bumped by
+        #: :meth:`SessionManager.resume` past the highest journaled epoch.
+        #: Journaled per trial so ``repro replay`` knows where each process
+        #: incarnation (and hence each fresh RNG re-seeding) began.
+        self.epoch = 0
+        self._suggest_calls = 0  # suggest() invocations this epoch
+        self._ask_meta: dict[int, dict[str, Any]] = {}  # ask_id -> batch coordinates
+        self._space_hash: str | None = None
 
     # -- internals ---------------------------------------------------------
     @staticmethod
@@ -150,6 +158,28 @@ class TuningSession:
         from ..execution import SerialExecutor  # deferred: core must not hard-depend on execution
 
         return SerialExecutor()
+
+    def _suggest_tracked(self, n: int) -> tuple[list[Configuration], dict[str, Any]]:
+        """One optimizer ``suggest(n)`` call, with provenance coordinates.
+
+        Every suggest — closed loop, open loop, or the service's ``/step``
+        — funnels through here so the journal can record, for each trial,
+        exactly which suggest call produced it (``call``), how wide the
+        batch was (``n``), and how many trials the optimizer had observed
+        at that moment (``observed``). Replay re-executes suggest calls
+        from these coordinates.
+        """
+        ask_info = {
+            "call": self._suggest_calls,
+            "n": int(n),
+            "observed": len(self.optimizer.history),
+        }
+        self._suggest_calls += 1
+        t0 = time.perf_counter()
+        with span("optimizer.suggest", n=n):
+            configs = self.optimizer.suggest(n)
+        self.last_suggest_latency_s = time.perf_counter() - t0
+        return configs, ask_info
 
     # -- ask/tell (open loop) ------------------------------------------------
     @property
@@ -189,15 +219,13 @@ class TuningSession:
                 f"session{f' {self.session_id!r}' if self.session_id else ''} is complete "
                 f"({self.max_trials} trials)"
             )
-        t0 = time.perf_counter()
-        with span("optimizer.suggest", n=min(request.n, remaining)):
-            configs = self.optimizer.suggest(min(request.n, remaining))
-        self.last_suggest_latency_s = time.perf_counter() - t0
+        configs, ask_info = self._suggest_tracked(min(request.n, remaining))
         suggestions = []
-        for config in configs:
+        for i, config in enumerate(configs):
             ask_id = self._next_ask_id
             self._next_ask_id += 1
             self._pending_asks[ask_id] = config
+            self._ask_meta[ask_id] = {**ask_info, "i": i}
             suggestions.append(
                 Suggestion(
                     config=json_safe(config.as_dict()),
@@ -223,6 +251,7 @@ class TuningSession:
             trial_id = self._report_trial_ids[report.report_id]
             return self.optimizer.history.trials[trial_id], True
         config = self._pending_asks.pop(report.ask_id, None) if report.ask_id is not None else None
+        ask_info = self._ask_meta.pop(report.ask_id, None) if report.ask_id is not None else None
         if config is None:
             # Unknown or pre-restart ask: the report carries the full
             # configuration values, so rebuild (and re-validate) from them.
@@ -242,7 +271,7 @@ class TuningSession:
             trial = self.optimizer.observe_failure(
                 config, cost=report.cost, status=status, context=context
             )
-        self._record(trial, report_id=report.report_id)
+        self._record(trial, report_id=report.report_id, ask_info=ask_info)
         if not trial.ok:
             for cb in self.callbacks:
                 cb.on_trial_error(self, trial, None)
@@ -250,12 +279,50 @@ class TuningSession:
             cb.on_trial_end(self, trial)
         return trial, False
 
-    def _record(self, trial: Trial, report_id: str | None = None) -> None:
+    def _space_version_hash(self) -> str:
+        if self._space_hash is None:
+            from ..space.serialize import space_version_hash  # deferred: avoid a space->core cycle
+
+            self._space_hash = space_version_hash(self.optimizer.space)
+        return self._space_hash
+
+    def _provenance(self, trial: Trial, ask_info: Mapping[str, Any] | None) -> dict[str, Any]:
+        """The lineage block journaled alongside one trial.
+
+        Captured *after* the observe, so the digests describe the optimizer
+        state that the next suggest will draw from — replay re-observes the
+        journal prefix and compares against exactly this.
+        """
+        from .. import __version__  # deferred: the package imports this module
+
+        provenance: dict[str, Any] = {
+            "version": 1,
+            "digest": self.optimizer.state_digest_parts(),
+            "space": self._space_version_hash(),
+            "seed": self.optimizer.seed,
+            "epoch": self.epoch,
+            "ask": dict(ask_info) if ask_info is not None else None,
+            "library": __version__,
+        }
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            provenance["trace_id"] = trace_id
+        executor = {
+            key: trial.context[key]
+            for key in ("queue_s", "attempt_s", "attempts", "retries")
+            if key in trial.context
+        }
+        if executor:
+            provenance["executor"] = executor
+        return provenance
+
+    def _record(self, trial: Trial, report_id: str | None = None, ask_info: Mapping[str, Any] | None = None) -> None:
         """Durably journal one observed trial (no-op without a store)."""
         if report_id is not None:
             self._report_trial_ids[report_id] = trial.trial_id
         if self.store is None or self.session_id is None:
             return
+        trial.provenance = self._provenance(trial, ask_info)
         appended = self.store.append_trial(self.session_id, encode_trial(trial, report_id))
         if appended.trial_id != trial.trial_id:
             raise OptimizerError(
@@ -284,10 +351,7 @@ class TuningSession:
             # want > 1 the suggest serves several trials and stays at the
             # session level; each executor task opens its own scope.
             with (trial_scope() if want == 1 else nullcontext()):
-                t0 = time.perf_counter()
-                with span("optimizer.suggest", n=want):
-                    configs = self.optimizer.suggest(want)
-                self.last_suggest_latency_s = time.perf_counter() - t0
+                configs, ask_info = self._suggest_tracked(want)
                 per_trial_suggest_s = self.last_suggest_latency_s / max(1, len(configs))
                 for i in range(len(configs)):
                     for cb in self.callbacks:
@@ -296,7 +360,7 @@ class TuningSession:
                 results = executor.map(self.evaluator, configs)
                 try:
                     for execution in results:
-                        trial = self._observe_execution(execution, per_trial_suggest_s)
+                        trial = self._observe_execution(execution, per_trial_suggest_s, ask_info)
                         n_done += 1
                         batch.append(trial)
                         if not trial.ok:
@@ -316,7 +380,12 @@ class TuningSession:
             cb.on_session_end(self)
         return self.result()
 
-    def _observe_execution(self, execution: "TrialExecution", suggest_latency_s: float = 0.0) -> Trial:
+    def _observe_execution(
+        self,
+        execution: "TrialExecution",
+        suggest_latency_s: float = 0.0,
+        ask_info: Mapping[str, Any] | None = None,
+    ) -> Trial:
         """Record one executed trial with the optimizer, carrying the
         execution-side instrumentation into ``Trial.context``."""
         result = execution.result
@@ -348,7 +417,10 @@ class TuningSession:
         # attribute them. (None for process pools — spans didn't cross.)
         if execution.span_ref is not None:
             execution.span_ref.trial_id = trial.trial_id
-        self._record(trial)
+        self._record(
+            trial,
+            ask_info=None if ask_info is None else {**ask_info, "i": execution.index},
+        )
         return trial
 
     def result(self) -> TuningResult:

@@ -78,3 +78,9 @@ class SimulatedAnnealingOptimizer(Optimizer):
             self._current_score = score
         if self._temperature is not None:
             self._temperature *= self.cooling
+
+    def _digest_state(self) -> dict[str, object]:
+        return {
+            "temperature": None if self._temperature is None else round(self._temperature, 12),
+            "current_score": None if self._current_score == math.inf else round(self._current_score, 12),
+        }

@@ -128,6 +128,13 @@ class MultiArmedBanditOptimizer(Optimizer):
         self._scale = max(self._scale * 0.99, abs(score), 1e-9)
         self.stats[idx].update(-score / self._scale)
 
+    def _digest_state(self) -> dict[str, object]:
+        return {
+            "pulls": [s.pulls for s in self.stats],
+            "means": [round(s.mean, 12) for s in self.stats],
+            "scale": round(self._scale, 12),
+        }
+
     def best_arm(self) -> Configuration:
         """Arm with the best empirical mean reward."""
         pulled = [(s.mean, i) for i, s in enumerate(self.stats) if s.pulls > 0]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core import Objective, Optimizer, Trial
+from ..core import Objective, Optimizer, Trial, rng_digest
 from ..exceptions import OptimizerError
 from ..telemetry.spans import span
 from ..space import Configuration, ConfigurationSpace
@@ -167,6 +167,14 @@ class BayesianOptimizer(Optimizer):
 
     def _on_observe(self, trial: Trial) -> None:
         self._model_stale = True
+
+    def _digest_state(self) -> dict[str, object]:
+        return {
+            "fit_count": self._fit_count,
+            "fantasies_total": self._fantasies_total,
+            "pending_lies": len(self._lies),
+            "model_rng": rng_digest(self.model.rng),
+        }
 
     def surrogate_stats(self) -> dict[str, float]:
         """Hot-path counters: GP fit/Cholesky/NLL stats plus cache hits.

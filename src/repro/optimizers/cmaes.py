@@ -120,6 +120,15 @@ class CMAESOptimizer(Optimizer):
         if len(self._results) >= self.lam:
             self._update_distribution()
 
+    def _digest_state(self) -> dict[str, object]:
+        return {
+            "generation": self.generation,
+            "sigma": round(float(self.sigma), 12),
+            "mean": [round(float(v), 12) for v in self.mean],
+            "awaiting": self._awaiting,
+            "buffered": len(self._results),
+        }
+
     def _update_distribution(self) -> None:
         self._results.sort(key=lambda pair: pair[1])
         selected = np.stack([x for x, _ in self._results[: self.mu]])

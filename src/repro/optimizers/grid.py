@@ -57,3 +57,6 @@ class GridSearchOptimizer(Optimizer):
         config = self._grid[self._cursor]
         self._cursor += 1
         return config
+
+    def _digest_state(self) -> dict[str, object]:
+        return {"cursor": self._cursor, "grid_size": len(self._grid)}

@@ -23,7 +23,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..core import Objective, Optimizer, Trial
+from ..core import Objective, Optimizer, Trial, rng_digest
 from ..exceptions import OptimizerError
 from ..space import Configuration, ConfigurationSpace
 from ..space.encoding import OrdinalEncoder
@@ -140,6 +140,13 @@ class MultiFidelityBO(Optimizer):
 
     def _on_observe(self, trial: Trial) -> None:
         pass  # model refits lazily on each suggest
+
+    def _digest_state(self) -> dict[str, object]:
+        return {
+            "n_suggested": self._n_suggested,
+            "next_fidelity": float(self.next_fidelity.value),
+            "model_rng": rng_digest(self.model.rng),
+        }
 
 
 @dataclass

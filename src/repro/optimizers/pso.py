@@ -101,3 +101,10 @@ class ParticleSwarmOptimizer(Optimizer):
         if score < self.gbest_score:
             self.gbest_score = score
             self.gbest_pos = self.positions[idx].copy()
+
+    def _digest_state(self) -> dict[str, object]:
+        return {
+            "cursor": self._cursor,
+            "pending": list(self._pending),
+            "gbest_score": None if self.gbest_score == np.inf else round(float(self.gbest_score), 12),
+        }

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core import Objective, Optimizer, Trial
+from ..core import Objective, Optimizer, Trial, rng_digest
 from ..exceptions import OptimizerError
 from ..telemetry.spans import span
 from ..space import Configuration, ConfigurationSpace
@@ -113,6 +113,14 @@ class SMACOptimizer(Optimizer):
         self._fitted_ids = ids
         self._fitted_y = y.copy()
         self._model_stale = False
+
+    def _digest_state(self) -> dict[str, object]:
+        return {
+            "suggestion_count": self._suggestion_count,
+            "fit_count": self._fit_count,
+            "fitted_n": len(self._fitted_ids),
+            "model_rng": rng_digest(self.model.rng),
+        }
 
     def surrogate_stats(self) -> dict[str, float]:
         """Forest fit/predict counters plus encoding-cache stats.

@@ -20,6 +20,8 @@ from typing import Any, Mapping, Sequence
 
 from ..core.codec import Suggestion, TrialReport
 from ..exceptions import ReproError
+from ..telemetry.spans import current_trace_context, format_traceparent, new_trace_id, span
+from ..telemetry.tracing import SessionTrace
 from .wire import WireError
 
 __all__ = ["ServiceClient", "ServiceError"]
@@ -34,36 +36,81 @@ class ServiceError(ReproError):
 
 
 class ServiceClient:
-    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+    """HTTP client for the tuning service.
+
+    Every request carries a W3C ``traceparent`` header: the trace id comes
+    from the ambient trace context when one is bound (e.g. inside an
+    activated :class:`~repro.telemetry.SessionTrace`), else from a
+    per-client id minted at construction — so all calls of one client
+    stitch into one distributed trace either way. Pass ``trace`` to also
+    record a client-side ``service.request`` span per call (wire time,
+    route, status, retry count).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 30.0,
+        trace: SessionTrace | None = None,
+    ) -> None:
         self.host = host
         self.port = int(port)
         self.timeout_s = float(timeout_s)
+        self.trace = trace
+        self.trace_id = trace.trace_id if trace is not None else new_trace_id()
 
     # -- transport ----------------------------------------------------------
-    async def request(self, method: str, path: str, payload: Mapping[str, Any] | None = None) -> Any:
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: Mapping[str, Any] | None = None,
+        retry: int = 0,
+    ) -> Any:
+        if self.trace is None:
+            return await self._request(method, path, payload, retry)
+        with self.trace.activated():
+            return await self._request(method, path, payload, retry)
+
+    async def _request(
+        self, method: str, path: str, payload: Mapping[str, Any] | None, retry: int
+    ) -> Any:
+        ctx = current_trace_context()
+        trace_id = ctx.trace_id if ctx is not None else self.trace_id
         body = b"" if payload is None else json.dumps(payload).encode("utf-8")
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             f"Content-Length: {len(body)}\r\n"
             "Content-Type: application/json\r\n"
+            f"Traceparent: {format_traceparent(trace_id)}\r\n"
             "Connection: close\r\n"
             "\r\n"
         )
-        reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(self.host, self.port), self.timeout_s
-        )
-        try:
-            writer.write(head.encode("latin-1") + body)
-            await writer.drain()
-            raw = await asyncio.wait_for(reader.read(), self.timeout_s)
-        finally:
-            writer.close()
+        with span("service.request", route=path, method=method, retry=retry) as op:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), self.timeout_s
+            )
             try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
-                pass
-        return self._parse_response(raw)
+                writer.write(head.encode("latin-1") + body)
+                await writer.drain()
+                raw = await asyncio.wait_for(reader.read(), self.timeout_s)
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                    pass
+            try:
+                data = self._parse_response(raw)
+            except ServiceError as err:
+                if op is not None:
+                    op.set(status=err.status)
+                raise
+            if op is not None:
+                op.set(status=200)
+            return data
 
     @staticmethod
     def _parse_response(raw: bytes) -> Any:
@@ -109,8 +156,8 @@ class ServiceClient:
         data = await self.request("POST", f"/sessions/{session_id}/ask", {"n": n})
         return [Suggestion.from_dict(s) for s in data["suggestions"]]
 
-    async def tell(self, session_id: str, report: TrialReport) -> dict[str, Any]:
-        return await self.request("POST", f"/sessions/{session_id}/tell", report.to_dict())
+    async def tell(self, session_id: str, report: TrialReport, retry: int = 0) -> dict[str, Any]:
+        return await self.request("POST", f"/sessions/{session_id}/tell", report.to_dict(), retry=retry)
 
     async def tell_reliably(
         self,
@@ -129,7 +176,7 @@ class ServiceClient:
         last: Exception | None = None
         for attempt in range(retries + 1):
             try:
-                return await self.tell(session_id, report)
+                return await self.tell(session_id, report, retry=attempt)
             except (ConnectionError, OSError, asyncio.TimeoutError) as err:
                 last = err
                 await asyncio.sleep(min(delay_s * (1.5**attempt), 2.0))

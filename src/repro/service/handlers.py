@@ -36,6 +36,7 @@ from ..exceptions import OptimizerError, ReproError
 from ..space.serialize import space_from_dict
 from ..staticcheck import SpaceLintError
 from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.tracing import SessionTrace
 from .wire import (
     CreateSessionRequest,
     WireError,
@@ -66,6 +67,12 @@ class ServiceHandlers:
     ) -> None:
         self.manager = manager
         self.metrics = metrics or MetricsRegistry()
+        #: The service-wide trace: ``http.request`` spans and the optimizer
+        #: spans they enclose are recorded here (with the *caller's* trace
+        #: id when the request carried a ``traceparent``). Share the service
+        #: metrics registry so trace-emitted counters land on ``/metrics``.
+        self.trace = SessionTrace(name="service")
+        self.trace.metrics = self.metrics
         self.step_workers = int(step_workers)
         self._hosted: dict[str, _Hosted] = {}
         self._admission = asyncio.Lock()  # guards the hosted table, not sessions
@@ -250,12 +257,16 @@ class ServiceHandlers:
             want = min(n, session.max_trials - len(session.optimizer.history))
             if want <= 0:
                 raise OptimizerError(f"session {session_id!r} is complete")
-            configs = session.optimizer.suggest(want)
+            # The tracked path (not a bare optimizer.suggest) so journaled
+            # trials carry ask-batch provenance coordinates, same as the
+            # in-process closed loop.
+            configs, ask_info = session._suggest_tracked(want)
+            per_trial_suggest_s = session.last_suggest_latency_s / max(1, len(configs))
             done = []
             results = executor.map(entry.evaluator, configs)
             try:
                 for execution in results:
-                    trial = session._observe_execution(execution)
+                    trial = session._observe_execution(execution, per_trial_suggest_s, ask_info)
                     done.append(trial.trial_id)
             finally:
                 close = getattr(results, "close", None)

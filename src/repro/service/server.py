@@ -18,10 +18,12 @@ from __future__ import annotations
 import asyncio
 import re
 import time
+from contextlib import nullcontext
 from typing import Any, Awaitable, Callable
 
 from ..core.journal import StorageError
 from ..exceptions import ReproError
+from ..telemetry.spans import bind_trace, current_trace_id, parse_traceparent, span
 from .handlers import NotFoundError, ServiceHandlers
 from .wire import WireError, dump_json, error_body, parse_json_body
 
@@ -40,6 +42,9 @@ _STATUS_TEXT = {
     413: "Payload Too Large",
     500: "Internal Server Error",
 }
+
+
+_NULL_CTX = nullcontext()
 
 
 class _HttpError(Exception):
@@ -69,6 +74,8 @@ class TuningServer:
         self.host = host
         self.port = port
         self._server: asyncio.base_events.Server | None = None
+        # Event-loop-local: mutated only from connection tasks, no lock.
+        self._in_flight = 0
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> "TuningServer":
@@ -110,12 +117,7 @@ class TuningServer:
                 if request is None:
                     break
                 method, path, headers, body = request
-                t0 = time.perf_counter()
-                status, payload, content_type = await self._dispatch(method, path, body)
-                self.handlers.metrics.inc("service.requests.total")
-                if status >= 400:
-                    self.handlers.metrics.inc("service.requests.errors")
-                self.handlers.metrics.observe("request.seconds", time.perf_counter() - t0)
+                status, payload, content_type = await self._serve_request(method, path, headers, body)
                 keep_alive = headers.get("connection", "keep-alive").lower() != "close"
                 await self._write_response(writer, status, payload, content_type, keep_alive)
                 if not keep_alive:
@@ -191,18 +193,69 @@ class TuningServer:
         await writer.drain()
 
     # -- routing ------------------------------------------------------------
+    @staticmethod
+    def _route_key(method: str, path: str) -> str:
+        """Low-cardinality route label for per-route metric series."""
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            return "healthz"
+        if path == "/metrics":
+            return "metrics"
+        if path == "/sessions":
+            return "sessions"
+        match = _SESSION_PATH.match(path)
+        if match:
+            return f"session.{match.group(2)}" if match.group(2) else "session.status"
+        return "unknown"
+
+    async def _serve_request(
+        self, method: str, path: str, headers: dict[str, str], body: bytes
+    ) -> tuple[int, bytes, str]:
+        """One request: trace binding, ``http.request`` span, route metrics.
+
+        The inbound ``traceparent`` (if any) is bound *before* the service
+        trace activates, so every span recorded while handling — including
+        optimizer spans running in worker threads via ``asyncio.to_thread``,
+        which copies this context — carries the caller's trace id and the
+        client and server traces stitch into one Chrome trace.
+        """
+        route = self._route_key(method, path)
+        inbound = parse_traceparent(headers.get("traceparent"))
+        metrics = self.handlers.metrics
+        self._in_flight += 1
+        metrics.set_gauge("http.requests.in_flight", self._in_flight)
+        t0 = time.perf_counter()
+        try:
+            with (bind_trace(inbound) if inbound is not None else _NULL_CTX):
+                with self.handlers.trace.activated():
+                    with span("http.request", route=route, method=method) as op:
+                        status, payload, content_type = await self._dispatch(method, path, body)
+                        if op is not None:
+                            op.set(status=status)
+        finally:
+            self._in_flight -= 1
+            metrics.set_gauge("http.requests.in_flight", self._in_flight)
+        elapsed = time.perf_counter() - t0
+        metrics.inc("service.requests.total")
+        if status >= 400:
+            metrics.inc("service.requests.errors")
+        metrics.observe("request.seconds", elapsed)
+        metrics.observe(f"http.request.seconds.{route}", elapsed)
+        metrics.inc(f"http.request.status.{route}.{status}")
+        return status, payload, content_type
+
     async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, bytes, str]:
         try:
             return await self._route(method, path, body)
         except WireError as err:
-            return 400, error_body(400, str(err)), "application/json"
+            return 400, error_body(400, str(err), trace_id=current_trace_id()), "application/json"
         except NotFoundError as err:
-            return 404, error_body(404, str(err)), "application/json"
+            return 404, error_body(404, str(err), trace_id=current_trace_id()), "application/json"
         except StorageError as err:
-            return 409, error_body(409, str(err)), "application/json"
+            return 409, error_body(409, str(err), trace_id=current_trace_id()), "application/json"
         except Exception as err:  # noqa: BLE001 - the server must not die with a connection
             self.handlers.metrics.inc("service.requests.crashed")
-            return 500, error_body(500, f"{type(err).__name__}: {err}"), "application/json"
+            return 500, error_body(500, f"{type(err).__name__}: {err}", trace_id=current_trace_id()), "application/json"
 
     async def _route(self, method: str, path: str, body: bytes) -> tuple[int, bytes, str]:
         path = path.split("?", 1)[0]

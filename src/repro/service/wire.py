@@ -61,8 +61,18 @@ def dump_json(payload: Any) -> bytes:
     return json.dumps(json_safe(payload), separators=(",", ":")).encode("utf-8")
 
 
-def error_body(status: int, message: str) -> bytes:
-    return dump_json({"error": {"status": status, "message": message}})
+def error_body(status: int, message: str, trace_id: str | None = None) -> bytes:
+    """JSON error envelope; carries the request's trace id when one is bound.
+
+    Without the id, a failed request is invisible in traces — the client
+    sees an opaque 4xx/5xx and cannot find the matching server-side
+    ``http.request`` span. The server passes the current distributed trace
+    id so every error response is greppable in a stitched Chrome trace.
+    """
+    error: dict[str, Any] = {"status": status, "message": message}
+    if trace_id is not None:
+        error["trace_id"] = trace_id
+    return dump_json({"error": error})
 
 
 @dataclass(frozen=True)

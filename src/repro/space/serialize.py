@@ -21,6 +21,8 @@ surface the loss.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Any, Mapping
 
 from ..exceptions import SpaceError
@@ -41,7 +43,7 @@ from .params import (
 from .priors import BetaPrior, HistogramPrior, NormalPrior, Prior, UniformPrior
 from .space import ConfigurationSpace
 
-__all__ = ["SpaceCodecError", "space_to_dict", "space_from_dict"]
+__all__ = ["SpaceCodecError", "space_to_dict", "space_from_dict", "space_version_hash"]
 
 SPACE_FORMAT_VERSION = 1
 
@@ -265,6 +267,20 @@ def space_to_dict(space: ConfigurationSpace, strict: bool = True) -> dict[str, A
     if dropped:
         out["dropped"] = dropped
     return out
+
+
+def space_version_hash(space: ConfigurationSpace | Mapping[str, Any]) -> str:
+    """Short content hash of a space's serialised form.
+
+    Journaled into every trial's provenance block so ``repro replay`` can
+    refuse to replay a journal against a space whose knobs have drifted
+    (renamed parameters, changed bounds, new conditions). Accepts either a
+    live space (serialised with ``strict=False``, matching what session
+    metadata stores) or an already-serialised dict.
+    """
+    data = space if isinstance(space, Mapping) else space_to_dict(space, strict=False)
+    text = json.dumps(data, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:12]
 
 
 def space_from_dict(data: Mapping[str, Any]) -> ConfigurationSpace:

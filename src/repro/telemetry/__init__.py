@@ -22,9 +22,22 @@ conventions, event schema, and overhead guarantees.
 from .events import Event, EventLog
 from .metrics import DEFAULT_LATENCY_BUCKETS, Histogram, MetricsRegistry
 from .naming import EVENT_KINDS, SPAN_NAMES
-from .spans import OpSpan, TrialRef, active_trace, current_op, emit_event, span, trial_scope
+from .spans import (
+    OpSpan,
+    TraceContext,
+    TrialRef,
+    active_trace,
+    bind_trace,
+    current_op,
+    current_trace_id,
+    emit_event,
+    format_traceparent,
+    parse_traceparent,
+    span,
+    trial_scope,
+)
 from .tracing import SessionTrace, TrialSpan
-from .export import chrome_trace, export_chrome_trace
+from .export import chrome_trace, export_chrome_trace, stitch_chrome_trace
 from .callback import TelemetryCallback
 
 __all__ = [
@@ -38,13 +51,19 @@ __all__ = [
     "OpSpan",
     "SessionTrace",
     "TelemetryCallback",
+    "TraceContext",
     "TrialRef",
     "TrialSpan",
     "active_trace",
+    "bind_trace",
     "chrome_trace",
     "current_op",
+    "current_trace_id",
     "emit_event",
     "export_chrome_trace",
+    "format_traceparent",
+    "parse_traceparent",
     "span",
+    "stitch_chrome_trace",
     "trial_scope",
 ]

@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 from typing import Any, Mapping
 
-__all__ = ["chrome_trace", "export_chrome_trace"]
+__all__ = ["chrome_trace", "export_chrome_trace", "stitch_chrome_trace"]
 
 _SESSION_TID = 0
 
@@ -109,6 +109,42 @@ def chrome_trace(trace: Any) -> dict[str, Any]:
         })
 
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def stitch_chrome_trace(traces: "list[Any]") -> dict[str, Any]:
+    """Merge several traces into one Chrome trace, one process track each.
+
+    The cross-wire story: a client ``run_session`` trace and the server's
+    service trace share a ``trace_id`` (propagated via the ``traceparent``
+    header), so stitching them gives the full picture — client wire time on
+    one pid, server handling and optimizer work on another, on a shared
+    wall-clock timeline. Traces keep their own relative timebases only if
+    they lack epoch timestamps; with ``started_at`` present (the normal
+    case) events align on the common wall clock.
+    """
+    merged: list[dict[str, Any]] = []
+    base: float | None = None
+    datas = [_as_dict(t) for t in traces]
+    for data in datas:
+        started = float(data.get("started_at") or 0.0)
+        if started:
+            base = started if base is None else min(base, started)
+    for pid, data in enumerate(datas, start=1):
+        shift_us = 0
+        started = float(data.get("started_at") or 0.0)
+        if base is not None and started:
+            shift_us = int(round((started - base) * 1e6))
+        for event in chrome_trace(data)["traceEvents"]:
+            event = dict(event)
+            event["pid"] = pid
+            if "ts" in event:
+                event["ts"] = event["ts"] + shift_us
+            if event.get("ph") == "M" and event.get("name") == "process_name":
+                name = data.get("name", f"trace {pid}")
+                trace_id = data.get("trace_id")
+                event["args"] = {"name": f"repro {name}" + (f" [{trace_id[:8]}]" if trace_id else "")}
+            merged.append(event)
+    return {"traceEvents": merged, "displayTimeUnit": "ms"}
 
 
 def export_chrome_trace(trace: Any, path: str) -> None:

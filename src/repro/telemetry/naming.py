@@ -38,6 +38,11 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "system.run",             # simulated system executing a workload
         # static analysis
         "staticcheck.run",        # one lint pass (space or AST prong)
+        # service wire (distributed tracing)
+        "service.request",        # client-side HTTP call (route, status, retry)
+        "http.request",           # server-side request handling (route, status)
+        # provenance / replay
+        "session.replay",         # one repro replay pass over a journaled session
     }
 )
 
@@ -54,6 +59,7 @@ EVENT_KINDS: frozenset[str] = frozenset(
         "surrogate.jitter_escalation",
         "workload.shift",
         "staticcheck.finding",    # a lint finding surfaced at session create
+        "replay.divergence",      # first point where a replayed session departs the journal
     }
 )
 

@@ -41,14 +41,17 @@ behavior rather than corrupting the tree.
 from __future__ import annotations
 
 import itertools
+import re
 import threading
 import time
+import uuid
 from contextvars import ContextVar
 from typing import Any, Protocol
 
 __all__ = [
     "OpSpan",
     "TrialRef",
+    "TraceContext",
     "span",
     "trial_scope",
     "emit_event",
@@ -57,6 +60,13 @@ __all__ = [
     "active_trace",
     "current_op",
     "current_trial_ref",
+    "bind_trace",
+    "current_trace_id",
+    "current_trace_context",
+    "new_trace_id",
+    "new_span_id",
+    "format_traceparent",
+    "parse_traceparent",
 ]
 
 _ids = itertools.count(1)
@@ -73,6 +83,105 @@ class SpanSink(Protocol):  # pragma: no cover - typing only
 _ACTIVE: ContextVar[SpanSink | None] = ContextVar("repro_active_trace", default=None)
 _PARENT: ContextVar["OpSpan | None"] = ContextVar("repro_current_span", default=None)
 _TRIAL: ContextVar["TrialRef | None"] = ContextVar("repro_trial_ref", default=None)
+_TRACE_CTX: ContextVar["TraceContext | None"] = ContextVar("repro_trace_ctx", default=None)
+
+
+# -- distributed trace context (W3C traceparent) ------------------------------
+
+_TRACEPARENT_RE = re.compile(r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$")
+
+
+class TraceContext:
+    """The distributed identity of the current request/session.
+
+    ``trace_id`` names the whole end-to-end trace (shared by the client
+    driving a session and every server handler it touches); ``span_id``
+    names the hop that propagated it. Both follow the W3C Trace Context
+    sizes (16 / 8 bytes, lowercase hex) so they serialise straight into a
+    ``traceparent`` header.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str | None = None) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id if span_id is not None else new_span_id()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TraceContext(trace_id={self.trace_id!r}, span_id={self.span_id!r})"
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char (16-byte) trace id."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-char (8-byte) propagation span id."""
+    return uuid.uuid4().hex[:16]
+
+
+def format_traceparent(trace_id: str, span_id: str | None = None) -> str:
+    """Render a W3C ``traceparent`` header value (version 00, sampled)."""
+    return f"00-{trace_id}-{span_id or new_span_id()}-01"
+
+
+def parse_traceparent(header: str | None) -> TraceContext | None:
+    """Parse a ``traceparent`` header; ``None`` on anything malformed.
+
+    Strict on shape (version ``00``-``fe``, 32+16 lowercase hex, non-zero
+    ids) and deliberately forgiving on failure: a bad header degrades to
+    "start a new trace", never to an error — propagation is advisory.
+    """
+    if not header:
+        return None
+    match = _TRACEPARENT_RE.match(header.strip().lower())
+    if match is None:
+        return None
+    version, trace_id, span_id, _flags = match.groups()
+    if version == "ff" or set(trace_id) == {"0"} or set(span_id) == {"0"}:
+        return None
+    return TraceContext(trace_id, span_id)
+
+
+class _TraceBinding:
+    """Context manager installing a :class:`TraceContext` for the block."""
+
+    __slots__ = ("_ctx", "_token")
+
+    def __init__(self, ctx: "TraceContext") -> None:
+        self._ctx = ctx
+
+    def __enter__(self) -> TraceContext:
+        self._token = _TRACE_CTX.set(self._ctx)
+        return self._ctx
+
+    def __exit__(self, *exc_info: object) -> bool:
+        _TRACE_CTX.reset(self._token)
+        return False
+
+
+def bind_trace(context: "TraceContext | str") -> _TraceBinding:
+    """Bind a trace context (or bare trace id) for the enclosed block.
+
+    Spans opened inside carry its ``trace_id``; the server binds the
+    inbound ``traceparent`` here so handler spans stitch into the caller's
+    trace.
+    """
+    if isinstance(context, str):
+        context = TraceContext(context)
+    return _TraceBinding(context)
+
+
+def current_trace_context() -> TraceContext | None:
+    """The bound distributed trace context, if any."""
+    return _TRACE_CTX.get()
+
+
+def current_trace_id() -> str | None:
+    """The bound distributed trace id, if any (for provenance / errors)."""
+    ctx = _TRACE_CTX.get()
+    return ctx.trace_id if ctx is not None else None
 
 
 class TrialRef:
@@ -100,12 +209,14 @@ class OpSpan:
     (so exported traces remain meaningful across sessions and machines).
     """
 
-    __slots__ = ("name", "span_id", "parent_id", "t0", "t1", "wall0", "status", "error", "thread", "attributes", "ref")
+    __slots__ = ("name", "span_id", "parent_id", "trace_id", "t0", "t1", "wall0", "status", "error", "thread", "attributes", "ref")
 
     def __init__(self, name: str, parent_id: int | None, ref: TrialRef | None, attributes: dict[str, Any]) -> None:
         self.name = name
         self.span_id = next(_ids)
         self.parent_id = parent_id
+        ctx = _TRACE_CTX.get()
+        self.trace_id = ctx.trace_id if ctx is not None else None
         self.t0 = time.monotonic()
         self.t1 = self.t0
         self.wall0 = time.time()
@@ -133,6 +244,7 @@ class OpSpan:
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
             "trial_id": self.trial_id,
             "t0_s": self.t0,
             "started_at": self.wall0,

@@ -109,11 +109,17 @@ class SessionTrace:
         clock: Callable[[], float] = time.monotonic,
         max_ops: int = 100_000,
         max_events: int = 4096,
+        trace_id: str | None = None,
     ) -> None:
         self.name = name
         self.clock = clock
         self.started_s = clock()
         self.started_at = time.time()  # wall-clock epoch
+        #: Distributed trace id (W3C shape). Spans recorded while this trace
+        #: is active default to it unless an inbound context is already
+        #: bound — the server binds the client's ``traceparent`` first, so
+        #: cross-process spans stitch under the *caller's* id.
+        self.trace_id = trace_id if trace_id is not None else _spans.new_trace_id()
         self.spans: list[TrialSpan] = []
         self.metrics = MetricsRegistry()
         self.events = EventLog(maxlen=max_events)
@@ -124,16 +130,28 @@ class SessionTrace:
 
     # -- activation ----------------------------------------------------------
     def activated(self):
-        """Context manager making this trace the ambient span/event sink."""
+        """Context manager making this trace the ambient span/event sink.
+
+        Also binds the trace's ``trace_id`` as the distributed trace
+        context — unless one is already bound (an inbound ``traceparent``
+        takes precedence so propagated traces stitch).
+        """
 
         trace = self
 
         class _Activation:
             def __enter__(self) -> "SessionTrace":
                 self._token = _spans.activate(trace)
+                if _spans.current_trace_context() is None:
+                    self._trace_binding = _spans.bind_trace(trace.trace_id)
+                    self._trace_binding.__enter__()
+                else:
+                    self._trace_binding = None
                 return trace
 
             def __exit__(self, *exc_info: object) -> bool:
+                if self._trace_binding is not None:
+                    self._trace_binding.__exit__(*exc_info)
                 _spans.deactivate(self._token)
                 return False
 
@@ -224,6 +242,7 @@ class SessionTrace:
         loose_ops = [d for group in by_trial.values() for d in group]
         return {
             "name": self.name,
+            "trace_id": self.trace_id,
             "started_s": self.started_s,
             "started_at": self.started_at,
             "elapsed_s": self.clock() - self.started_s,

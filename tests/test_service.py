@@ -402,3 +402,154 @@ class TestConcurrentCampaign:
                 await server.stop()
 
         run(asyncio.wait_for(main(), timeout=120))
+
+
+class TestTracePropagation:
+    """Cross-wire tracing: traceparent propagation, client spans, per-route
+    metrics, error-envelope trace ids, and the stitched Chrome trace."""
+
+    def test_traceparent_round_trip_ask_tell(self):
+        from repro.telemetry import SessionTrace
+
+        async def main():
+            server = TuningServer(ServiceHandlers(SessionManager(MemoryTrialStore())), port=0)
+            await server.start()
+            client_trace = SessionTrace(name="client")
+            client = ServiceClient(server.host, server.port, timeout_s=10, trace=client_trace)
+            try:
+                await client.create_session(
+                    space=small_space_spec(), optimizer="random", seed=0,
+                    max_trials=8, session_id="tp",
+                    objectives=[{"name": "loss", "minimize": True}],
+                )
+                suggestions = await client.ask("tp", n=2)
+                for s in suggestions:
+                    await client.tell("tp", TrialReport(
+                        config=s.config, metrics=evaluate(s.config), ask_id=s.ask_id,
+                    ))
+                # Client side: one service.request span per HTTP call, all
+                # under the client trace id.
+                requests = [op for op in client_trace.ops if op.name == "service.request"]
+                assert len(requests) == 4  # create + ask + 2 tells
+                assert all(op.trace_id == client_trace.trace_id for op in requests)
+                assert all(op.attributes["status"] == 200 for op in requests)
+                # Server side: http.request spans bound to the inbound
+                # traceparent — the caller's trace id, not the server's own.
+                server_trace = server.handlers.trace
+                http_ops = [op for op in server_trace.ops if op.name == "http.request"]
+                assert len(http_ops) == 4
+                assert all(op.trace_id == client_trace.trace_id for op in http_ops)
+                routes = {op.attributes["route"] for op in http_ops}
+                assert routes == {"sessions", "session.ask", "session.tell"}
+                # Optimizer spans run in worker threads (asyncio.to_thread
+                # copies the context) and still carry the caller's trace id.
+                suggests = [op for op in server_trace.ops if op.name == "optimizer.suggest"]
+                assert suggests
+                assert all(op.trace_id == client_trace.trace_id for op in suggests)
+                # The journaled provenance records the same trace id.
+                records = server.handlers.manager.store.load_trials("tp")
+                assert all(r["provenance"]["trace_id"] == client_trace.trace_id for r in records)
+            finally:
+                await server.stop()
+
+        run(asyncio.wait_for(main(), timeout=60))
+
+    def test_error_body_carries_trace_id(self):
+        async def main():
+            server, _ = await start_server(MemoryTrialStore())
+            try:
+                trace_id = "ab" * 16
+                reader, writer = await asyncio.open_connection(server.host, server.port)
+                writer.write(
+                    b"GET /sessions/ghost HTTP/1.1\r\nHost: t\r\n"
+                    + f"Traceparent: 00-{trace_id}-{'cd' * 8}-01\r\n".encode()
+                    + b"Connection: close\r\n\r\n"
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                body = raw.partition(b"\r\n\r\n")[2]
+                import json as _json
+
+                error = _json.loads(body)["error"]
+                assert error["status"] == 404
+                assert error["trace_id"] == trace_id
+            finally:
+                await server.stop()
+
+        run(asyncio.wait_for(main(), timeout=60))
+
+    def test_malformed_traceparent_degrades_to_server_trace(self):
+        async def main():
+            server, _ = await start_server(MemoryTrialStore())
+            try:
+                reader, writer = await asyncio.open_connection(server.host, server.port)
+                writer.write(
+                    b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                    b"Traceparent: ff-bogus-header-00\r\n"
+                    b"Connection: close\r\n\r\n"
+                )
+                await writer.drain()
+                await reader.read()
+                writer.close()
+                server_trace = server.handlers.trace
+                (op,) = [op for op in server_trace.ops if op.name == "http.request"]
+                assert op.trace_id == server_trace.trace_id  # fresh, not inherited
+            finally:
+                await server.stop()
+
+        run(asyncio.wait_for(main(), timeout=60))
+
+    def test_per_route_metrics_on_metrics_endpoint(self):
+        async def main():
+            server, client = await start_server(MemoryTrialStore())
+            try:
+                await client.health()
+                with pytest.raises(ServiceError):
+                    await client.status("ghost")
+                text = await client.metrics()
+                assert "repro_http_request_seconds_healthz_count 1" in text
+                assert "repro_http_request_status_healthz_200 1" in text
+                assert "repro_http_request_status_session_status_404 1" in text
+                assert "repro_http_requests_in_flight" in text
+            finally:
+                await server.stop()
+
+        run(asyncio.wait_for(main(), timeout=60))
+
+    def test_stitched_chrome_trace_shares_trace_id(self):
+        from repro.telemetry import SessionTrace, stitch_chrome_trace
+
+        async def main():
+            server = TuningServer(ServiceHandlers(SessionManager(MemoryTrialStore())), port=0)
+            await server.start()
+            client_trace = SessionTrace(name="client")
+            client = ServiceClient(server.host, server.port, timeout_s=10, trace=client_trace)
+            try:
+                await client.create_session(
+                    space=small_space_spec(), optimizer="random", seed=0,
+                    max_trials=4, session_id="stitch",
+                    objectives=[{"name": "loss", "minimize": True}],
+                )
+                await client.run_session("stitch", evaluate, batch=2)
+                server_trace = server.handlers.trace
+                assert {op.trace_id for op in server_trace.ops if op.name == "http.request"} == {
+                    client_trace.trace_id
+                }
+                stitched = stitch_chrome_trace([client_trace, server_trace])
+                events = stitched["traceEvents"]
+                assert {e["pid"] for e in events} == {1, 2}
+                process_names = [
+                    e["args"]["name"] for e in events
+                    if e.get("ph") == "M" and e["name"] == "process_name"
+                ]
+                # One process track per side; the shared trace id lives on
+                # the spans themselves (asserted above), the client track is
+                # labelled with it.
+                shared = client_trace.trace_id[:8]
+                assert any("client" in n and shared in n for n in process_names)
+                assert any("service" in n for n in process_names)
+            finally:
+                await server.stop()
+
+        run(asyncio.wait_for(main(), timeout=60))

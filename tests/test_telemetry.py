@@ -122,3 +122,52 @@ class TestOnlineAgentTrace:
         assert trace.counters["steps.total"] == 6
         assert all(s.attributes["workload"] for s in trace.spans)
         assert trace.gauges["steps.total"] == 6
+
+
+class TestTraceContext:
+    """W3C traceparent parsing/formatting and ambient trace binding."""
+
+    def test_format_parse_round_trip(self):
+        from repro.telemetry import format_traceparent, parse_traceparent
+
+        header = format_traceparent("ab" * 16)
+        ctx = parse_traceparent(header)
+        assert ctx is not None
+        assert ctx.trace_id == "ab" * 16
+        assert len(ctx.span_id) == 16
+
+    @pytest.mark.parametrize("header", [
+        None,
+        "",
+        "not-a-traceparent",
+        "00-short-0123456789abcdef-01",
+        f"ff-{'ab' * 16}-{'cd' * 8}-01",   # forbidden version
+        f"00-{'0' * 32}-{'cd' * 8}-01",    # all-zero trace id
+        f"00-{'ab' * 16}-{'0' * 16}-01",   # all-zero span id
+    ])
+    def test_malformed_headers_parse_to_none(self, header):
+        from repro.telemetry import parse_traceparent
+
+        assert parse_traceparent(header) is None
+
+    def test_bind_trace_wins_over_activation(self):
+        """An inbound trace context takes precedence over the activated
+        trace's own id — the server-side stitching rule."""
+        from repro.telemetry import bind_trace
+        from repro.telemetry.spans import span
+
+        trace = SessionTrace("local")
+        with bind_trace("cd" * 16):
+            with trace.activated():
+                with span("optimizer.suggest", n=1):
+                    pass
+        assert trace.ops[0].trace_id == "cd" * 16
+
+    def test_activation_binds_own_trace_id(self):
+        from repro.telemetry.spans import span
+
+        trace = SessionTrace("local")
+        with trace.activated():
+            with span("optimizer.suggest", n=1):
+                pass
+        assert trace.ops[0].trace_id == trace.trace_id
