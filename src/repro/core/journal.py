@@ -41,6 +41,7 @@ from ..exceptions import ReproError
 
 __all__ = [
     "StorageError",
+    "TransientStorageError",
     "SessionMeta",
     "AppendResult",
     "TrialStore",
@@ -56,6 +57,24 @@ LEGACY_TRIALS_VERSION = 1
 
 class StorageError(ReproError):
     """A trial store operation failed or the stored state is invalid."""
+
+
+class TransientStorageError(StorageError):
+    """A store operation failed in a way that a retry may fix.
+
+    Raised for contended or momentarily-unavailable storage — SQLite
+    ``database is locked``/``busy``, a failed fsync, a full disk, an
+    injected chaos fault. The distinction matters end to end: the service
+    maps transient errors to HTTP 503 with a ``Retry-After`` hint (clients
+    back off and retry) while permanent :class:`StorageError`\\ s map to
+    409 (retrying cannot help), and :class:`~repro.core.session.TuningSession`
+    spills trials into a bounded in-memory buffer on transient append
+    failures instead of failing the tell.
+
+    The contract for raisers: after a :class:`TransientStorageError` from
+    ``append_trial`` the journal must be exactly as if the append was never
+    attempted (no phantom or torn records surfacing on the next load).
+    """
 
 
 def new_session_id() -> str:

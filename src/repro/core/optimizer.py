@@ -264,6 +264,11 @@ class Optimizer(ABC):
         # order — part of :meth:`state_digest`. Incremental (one sha256
         # update per observe), so journaling provenance stays O(1)/trial.
         self._history_sha = hashlib.sha256()
+        #: How many suggestions degraded to random sampling because the
+        #: surrogate path failed. Folded into the state digest (only once
+        #: nonzero, so healthy runs keep their historic digests) and into
+        #: ``surrogate_stats`` where available.
+        self._degraded_total = 0
 
     @property
     def objective(self) -> Objective:
@@ -292,6 +297,29 @@ class Optimizer(ABC):
         ``None`` falls back to ``n`` independent :meth:`_suggest` calls.
         """
         return None
+
+    def _degraded_suggest(self, stage: str, err: Exception) -> Configuration:
+        """Graceful degradation: the surrogate path failed, sample randomly.
+
+        A numerically broken fit (singular kernel, NaN scores) or a failing
+        model must not kill a long campaign — the tuner falls back to the
+        behaviour it had before the model took over, announces it on the
+        event log, and keeps going. The draw comes from ``self.rng``, the
+        same stream random sampling uses, so the degraded suggestion is
+        exactly as deterministic as a healthy one given the same failure.
+        """
+        from ..telemetry.spans import emit_event  # deferred: optimizer is telemetry-light
+
+        self._degraded_total += 1
+        emit_event(
+            "optimizer.degraded",
+            severity="warning",
+            message=f"{stage} failed ({type(err).__name__}: {err}); suggesting randomly",
+            optimizer=type(self).__name__,
+            stage=stage,
+            degraded_total=self._degraded_total,
+        )
+        return self.space.sample(self.rng)
 
     # -- tell ----------------------------------------------------------------
     def observe(
@@ -412,6 +440,11 @@ class Optimizer(ABC):
             "history": self._history_sha.hexdigest()[:12],
         }
         state = self._digest_state()
+        if self._degraded_total:
+            # Degraded (random-fallback) suggestions are provenance-visible:
+            # a replay whose surrogate *doesn't* fail must not silently
+            # match a journal recorded under degradation.
+            state = {**state, "degraded_total": self._degraded_total}
         if state:
             parts["model"] = _digest(state)
         return parts

@@ -37,10 +37,11 @@ from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from ..exceptions import OptimizerError
 from ..space import Configuration
-from ..telemetry.spans import current_trace_id, span, trial_scope
+from ..telemetry.spans import current_trace_id, emit_event, span, trial_scope
 from .callbacks import Callback
 from .codec import SuggestRequest, Suggestion, TrialReport, config_from_values, encode_trial, json_safe
 from .evaluation import coerce_evaluation
+from .journal import TransientStorageError
 from .optimizer import Optimizer, Trial, TrialStatus
 from .result import TuningResult
 
@@ -101,6 +102,7 @@ class TuningSession:
         executor: "TrialExecutor | None" = None,
         store: "TrialStore | None" = None,
         session_id: str | None = None,
+        spill_limit: int = 256,
     ) -> None:
         if max_trials < 1:
             raise OptimizerError(f"max_trials must be >= 1, got {max_trials}")
@@ -130,6 +132,14 @@ class TuningSession:
         self._suggest_calls = 0  # suggest() invocations this epoch
         self._ask_meta: dict[int, dict[str, Any]] = {}  # ask_id -> batch coordinates
         self._space_hash: str | None = None
+        #: Graceful degradation for transient store failures: encoded trial
+        #: records that could not be journaled yet, flushed in order before
+        #: the next append (or explicitly via :meth:`flush_spill`). The
+        #: limit is a backpressure threshold, not a drop policy — records
+        #: are never discarded; past the limit the failure propagates so
+        #: callers stop feeding an unwritable store.
+        self.spill_limit = int(spill_limit)
+        self._spill: list[tuple[int, dict[str, Any]]] = []
 
     # -- internals ---------------------------------------------------------
     @staticmethod
@@ -249,6 +259,19 @@ class TuningSession:
             report = TrialReport.from_dict(report)
         if report.report_id is not None and report.report_id in self._report_trial_ids:
             trial_id = self._report_trial_ids[report.report_id]
+            if self._spill:
+                # A retried report is a recovery signal: try to drain the
+                # spill so the trial we re-acknowledge becomes durable.
+                try:
+                    self._flush_queue()
+                except TransientStorageError as err:
+                    emit_event(
+                        "store.spill",
+                        severity="warning",
+                        message=f"spill flush on retried report failed: {err}",
+                        session_id=self.session_id,
+                        spilled=len(self._spill),
+                    )
             return self.optimizer.history.trials[trial_id], True
         config = self._pending_asks.pop(report.ask_id, None) if report.ask_id is not None else None
         ask_info = self._ask_meta.pop(report.ask_id, None) if report.ask_id is not None else None
@@ -317,19 +340,96 @@ class TuningSession:
         return provenance
 
     def _record(self, trial: Trial, report_id: str | None = None, ask_info: Mapping[str, Any] | None = None) -> None:
-        """Durably journal one observed trial (no-op without a store)."""
+        """Durably journal one observed trial (no-op without a store).
+
+        On a *transient* store failure the encoded record is held in the
+        bounded in-memory spill buffer instead of failing the observe:
+        the tuning loop degrades (acknowledged trials are momentarily
+        memory-only) rather than halting, and the buffer is flushed — in
+        order, ahead of newer records — as soon as the store recovers.
+        Once the buffer exceeds ``spill_limit`` the failure propagates as
+        backpressure. Permanent :class:`StorageError`\\ s always propagate.
+        """
         if report_id is not None:
             self._report_trial_ids[report_id] = trial.trial_id
         if self.store is None or self.session_id is None:
             return
         trial.provenance = self._provenance(trial, ask_info)
-        appended = self.store.append_trial(self.session_id, encode_trial(trial, report_id))
-        if appended.trial_id != trial.trial_id:
-            raise OptimizerError(
-                f"journal/optimizer trial-id divergence in session {self.session_id!r}: "
-                f"journal assigned {appended.trial_id}, optimizer {trial.trial_id} "
-                "(was the optimizer observed outside the session?)"
+        queued = len(self._spill) + 1
+        self._spill.append((trial.trial_id, encode_trial(trial, report_id)))
+        try:
+            self._flush_queue()
+        except TransientStorageError as err:
+            emit_event(
+                "store.spill",
+                severity="warning",
+                message=str(err),
+                session_id=self.session_id,
+                spilled=len(self._spill),
+                spill_limit=self.spill_limit,
             )
+            if len(self._spill) > self.spill_limit:
+                raise
+            return
+        if queued > 1:
+            emit_event(
+                "store.spill_flush",
+                message=f"spill buffer drained ({queued} records)",
+                session_id=self.session_id,
+                flushed=queued,
+            )
+
+    def _flush_queue(self) -> None:
+        """Append every spilled record, oldest first; stop at the first
+        transient failure (leaving the remainder spilled)."""
+        while self._spill:
+            trial_id, record = self._spill[0]
+            appended = self.store.append_trial(self.session_id, record)
+            if appended.trial_id != trial_id:
+                raise OptimizerError(
+                    f"journal/optimizer trial-id divergence in session {self.session_id!r}: "
+                    f"journal assigned {appended.trial_id}, optimizer {trial_id} "
+                    "(was the optimizer observed outside the session?)"
+                )
+            self._spill.pop(0)
+
+    @property
+    def spilled_count(self) -> int:
+        """Number of observed-but-not-yet-journaled records."""
+        return len(self._spill)
+
+    def flush_spill(self, retries: int = 8, policy: "Any | None" = None) -> int:
+        """Drain the spill buffer with bounded jittered retries.
+
+        Called by the service when a session completes (the last chance to
+        make every acknowledged trial durable) and usable by library
+        callers after a store outage. Returns the number of records
+        flushed; re-raises the final :class:`TransientStorageError` if the
+        store stays unavailable for the whole retry budget.
+        """
+        if not self._spill:
+            return 0
+        if policy is None:
+            from ..resilience import BackoffPolicy  # deferred: core must not hard-depend
+
+            policy = BackoffPolicy(base_s=0.02, cap_s=0.5)
+        pending = len(self._spill)
+        for attempt in range(retries + 1):
+            try:
+                self._flush_queue()
+            except TransientStorageError:
+                if attempt == retries:
+                    raise
+                time.sleep(policy.delay(attempt))
+            else:
+                emit_event(
+                    "store.spill_flush",
+                    message=f"spill buffer drained ({pending} records)",
+                    session_id=self.session_id,
+                    flushed=pending,
+                )
+                return pending
+        return 0  # pragma: no cover - loop always returns or raises
 
     # -- main loop ----------------------------------------------------------
     def run(self) -> TuningResult:

@@ -30,7 +30,7 @@ import time
 from pathlib import Path
 from typing import Any, Mapping
 
-from ..journal import AppendResult, SessionMeta, StorageError, TrialStore
+from ..journal import AppendResult, SessionMeta, StorageError, TransientStorageError, TrialStore
 
 __all__ = ["JsonJournalStore"]
 
@@ -142,15 +142,42 @@ class JsonJournalStore(TrialStore):
             payload = dict(record)
             payload["trial_id"] = trial_id
             line = json.dumps(payload, separators=(",", ":"), default=str) + "\n"
-            with open(self._journal_path(session_id), "ab") as fh:
-                fh.write(line.encode("utf-8"))
-                fh.flush()
-                if self.fsync:
-                    os.fsync(fh.fileno())
+            self._append_line(self._journal_path(session_id), line.encode("utf-8"))
             self._counts[session_id] = trial_id + 1
             if report_id is not None:
                 self._report_ids[session_id].add(report_id)
             return AppendResult(trial_id=trial_id)
+
+    def _append_line(self, path: Path, data: bytes) -> None:
+        """Append one record durably, or leave the journal untouched.
+
+        Disk-full / IO / fsync failures surface as
+        :class:`TransientStorageError` (the contract's retryable class),
+        and the journal is rolled back to its pre-append length first so a
+        half-written or written-but-unacknowledged line can never turn a
+        retry into a duplicate record.
+        """
+        try:
+            fh = open(path, "ab")
+        except OSError as err:
+            raise TransientStorageError(f"cannot open journal {path}: {err}") from err
+        try:
+            offset = fh.tell()
+            try:
+                fh.write(data)
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
+            except OSError as err:
+                try:
+                    fh.truncate(offset)
+                except OSError:  # pragma: no cover - rollback is best-effort
+                    pass  # the torn tail is unterminated; recovery discards it
+                raise TransientStorageError(
+                    f"append to journal {path} failed: {err}"
+                ) from err
+        finally:
+            fh.close()
 
     def _find_trial_id(self, session_id: str, report_id: str) -> int:
         for record in self._read_journal(session_id, repair=False):

@@ -21,9 +21,23 @@ import time
 from pathlib import Path
 from typing import Any, Mapping
 
-from ..journal import AppendResult, SessionMeta, StorageError, TrialStore
+from ..journal import AppendResult, SessionMeta, StorageError, TransientStorageError, TrialStore
 
 __all__ = ["SqliteTrialStore"]
+
+#: ``sqlite3.OperationalError`` message fragments that mark a *retryable*
+#: failure: writer contention or a momentarily full disk. Everything else
+#: (malformed database, missing table) is permanent.
+_TRANSIENT_MARKERS = ("locked", "busy", "disk is full", "disk i/o error")
+
+
+def _storage_error(context: str, err: sqlite3.Error) -> StorageError:
+    """Wrap a sqlite error, classifying contention/IO as transient."""
+    if isinstance(err, sqlite3.OperationalError):
+        message = str(err).lower()
+        if any(marker in message for marker in _TRANSIENT_MARKERS):
+            return TransientStorageError(f"{context}: {err}")
+    return StorageError(f"{context}: {err}")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS sessions (
@@ -55,6 +69,9 @@ class SqliteTrialStore(TrialStore):
             self._db = sqlite3.connect(str(self.path), check_same_thread=False)
             self._db.execute("PRAGMA journal_mode=WAL")
             self._db.execute("PRAGMA synchronous=NORMAL")
+            # Ride out short writer contention inside SQLite before
+            # surfacing a TransientStorageError for the caller to retry.
+            self._db.execute("PRAGMA busy_timeout=5000")
             self._db.executescript(_SCHEMA)
             self._db.commit()
         except sqlite3.Error as err:
@@ -76,7 +93,7 @@ class SqliteTrialStore(TrialStore):
                 raise StorageError(f"session {meta.session_id!r} already exists") from None
             except sqlite3.Error as err:
                 self._db.rollback()
-                raise StorageError(f"cannot create session: {err}") from err
+                raise _storage_error("cannot create session", err) from err
 
     def get_session(self, session_id: str) -> SessionMeta | None:
         with self._lock:
@@ -137,8 +154,11 @@ class SqliteTrialStore(TrialStore):
                 self._db.commit()
                 return AppendResult(trial_id=trial_id)
             except sqlite3.Error as err:
-                self._db.rollback()
-                raise StorageError(f"cannot append trial to {session_id!r}: {err}") from err
+                try:
+                    self._db.rollback()
+                except sqlite3.Error:  # pragma: no cover - rollback is best-effort
+                    pass
+                raise _storage_error(f"cannot append trial to {session_id!r}", err) from err
 
     def load_trials(self, session_id: str) -> list[dict[str, Any]]:
         with self._lock:

@@ -132,16 +132,23 @@ class BayesianOptimizer(Optimizer):
         if n_done < self.n_init:
             return self.space.sample(self.rng)
         if self._model_stale or self._lies:
-            self._ensure_model()
+            try:
+                self._ensure_model()
+            except Exception as err:  # noqa: BLE001 - surrogate failure degrades, never halts
+                self._model_stale = True  # retry the fit on the next suggest
+                return self._degraded_suggest("surrogate.fit", err)
         if not self.model.is_fitted:
             return self.space.sample(self.rng)
-        with span("acquisition.optimize", n_candidates=self.n_candidates):
-            cands = self._candidates()
-            X = self.encoder.encode_many(cands)
-            mean, std = self.model.predict(X, return_std=True)
-            best_score = float(self.history.scores().min())
-            scores = self.acquisition(mean, std, best_score)
-            return cands[int(np.argmax(scores))]
+        try:
+            with span("acquisition.optimize", n_candidates=self.n_candidates):
+                cands = self._candidates()
+                X = self.encoder.encode_many(cands)
+                mean, std = self.model.predict(X, return_std=True)
+                best_score = float(self.history.scores().min())
+                scores = self.acquisition(mean, std, best_score)
+                return cands[int(np.argmax(scores))]
+        except Exception as err:  # noqa: BLE001 - acquisition failure degrades, never halts
+            return self._degraded_suggest("acquisition.optimize", err)
 
     def _suggest_batch(self, n: int) -> list[Configuration]:
         """Batch suggestion with constant-liar fantasies for diversity.
@@ -186,6 +193,7 @@ class BayesianOptimizer(Optimizer):
         out.update(self._encoding_cache.stats())
         out["pending_fantasies"] = float(len(self._lies))
         out["fantasies_total"] = float(self._fantasies_total)
+        out["degraded_total"] = float(self._degraded_total)
         return out
 
     # -- introspection --------------------------------------------------------------------

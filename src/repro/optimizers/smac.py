@@ -131,6 +131,7 @@ class SMACOptimizer(Optimizer):
         """
         out = self.model.stats_dict()
         out.update(self._encoding_cache.stats())
+        out["degraded_total"] = float(self._degraded_total)
         return out
 
     # -- suggest ---------------------------------------------------------------
@@ -156,16 +157,23 @@ class SMACOptimizer(Optimizer):
         if self._interleave_due():
             return self.space.sample(self.rng)
         if self._model_stale:
-            self._fit_model()
+            try:
+                self._fit_model()
+            except Exception as err:  # noqa: BLE001 - surrogate failure degrades, never halts
+                self._model_stale = True  # retry the fit on the next suggest
+                return self._degraded_suggest("surrogate.fit", err)
         if not self.model.is_fitted:
             return self.space.sample(self.rng)
-        with span("acquisition.optimize", n_candidates=self.n_candidates):
-            cands = self._candidate_pool()
-            X = self.encoder.encode_many(cands)
-            mean, std = self.model.predict(X, return_std=True)
-            best_score = float(self.history.scores().min())
-            scores = self.acquisition(mean, std, best_score)
-            return cands[int(np.argmax(scores))]
+        try:
+            with span("acquisition.optimize", n_candidates=self.n_candidates):
+                cands = self._candidate_pool()
+                X = self.encoder.encode_many(cands)
+                mean, std = self.model.predict(X, return_std=True)
+                best_score = float(self.history.scores().min())
+                scores = self.acquisition(mean, std, best_score)
+                return cands[int(np.argmax(scores))]
+        except Exception as err:  # noqa: BLE001 - acquisition failure degrades, never halts
+            return self._degraded_suggest("acquisition.optimize", err)
 
     def _suggest_batch(self, n: int) -> list[Configuration] | None:
         """Constant-liar batch: one fit + one routed pool for all ``n`` picks.
@@ -180,7 +188,10 @@ class SMACOptimizer(Optimizer):
         if len(self.history.completed()) < self.n_init:
             return None  # init phase: independent random draws
         if self._model_stale:
-            self._fit_model()
+            try:
+                self._fit_model()
+            except Exception:  # noqa: BLE001 - fall back to per-suggest path,
+                return None  # which retries the fit and emits optimizer.degraded
         if not self.model.is_fitted:
             return None
         best_score = float(self.history.scores().min())

@@ -1,0 +1,203 @@
+"""Shared resilience primitives: retry backoff and circuit breaking.
+
+The tuning service is a long-running loop over unreliable parts — stores
+that hit transient IO errors, a server that sheds load under pressure,
+clients that outlive server restarts. Every retry loop in the repository
+routes its sleep through one :class:`BackoffPolicy` (full-jitter
+exponential backoff, honouring server ``Retry-After`` hints) so overload
+never synchronises retry storms, and remote callers wrap their transport
+in a :class:`CircuitBreaker` so a dead peer costs a fast failure instead
+of a timeout per call.
+
+Both helpers are deterministic given their inputs: the backoff jitter
+draws from an injectable ``random.Random`` and the breaker's clock is an
+injectable monotonic function, so chaos tests replay exactly.
+
+Static enforcement: rule ``AST105`` (:mod:`repro.staticcheck.astlint`)
+flags hand-rolled retry sleeps in ``repro/service/`` that bypass
+:meth:`BackoffPolicy.delay`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from .exceptions import ReproError
+from .telemetry.spans import emit_event
+
+__all__ = [
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
+]
+
+#: Process-wide jitter source used when a caller does not inject its own
+#: ``random.Random``. Seeded so sleep schedules are reproducible in tests;
+#: jitter needs decorrelation, not entropy.
+_JITTER_RNG = random.Random(0x5EED)
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Full-jitter exponential backoff (the AWS architecture-blog scheme).
+
+    The k-th retry sleeps ``uniform(0, min(cap_s, base_s * multiplier**k))``
+    — full jitter decorrelates concurrent retriers, which is exactly what a
+    shedding server needs to recover. When the server supplied a
+    ``Retry-After`` hint, that hint wins (clamped to ``cap_s``): the server
+    knows its own queue better than any client-side curve.
+    """
+
+    base_s: float = 0.05
+    cap_s: float = 2.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0 or self.cap_s <= 0 or self.multiplier < 1.0:
+            raise ReproError(
+                "BackoffPolicy needs base_s >= 0, cap_s > 0, multiplier >= 1"
+            )
+
+    def ceiling(self, attempt: int) -> float:
+        """The jitter window's upper bound for the given 0-based attempt."""
+        return min(self.cap_s, self.base_s * self.multiplier ** max(0, int(attempt)))
+
+    def delay(
+        self,
+        attempt: int,
+        rng: random.Random | None = None,
+        retry_after: float | None = None,
+    ) -> float:
+        """Seconds to sleep before retrying ``attempt`` (0-based).
+
+        ``retry_after`` is a server hint (e.g. parsed from an HTTP 429/503
+        ``Retry-After`` header); when present it is used verbatim, clamped
+        into ``[0, cap_s]``.
+        """
+        if retry_after is not None:
+            return min(max(float(retry_after), 0.0), self.cap_s)
+        ceiling = self.ceiling(attempt)
+        if ceiling <= 0:
+            return 0.0
+        return (rng if rng is not None else _JITTER_RNG).random() * ceiling
+
+
+class CircuitOpenError(ConnectionError, ReproError):
+    """The circuit breaker is open: the call was rejected without I/O.
+
+    Subclasses :class:`ConnectionError` so every retry loop that already
+    treats connection failures as retryable handles breaker rejections the
+    same way — back off and try again once the recovery window passes.
+    """
+
+
+class CircuitBreaker:
+    """Per-client circuit breaker with closed / open / half-open states.
+
+    * **closed** — calls flow; ``failure_threshold`` consecutive recorded
+      failures trip the breaker open.
+    * **open** — :meth:`allow` refuses for ``recovery_s`` seconds (callers
+      should raise :class:`CircuitOpenError` and back off).
+    * **half-open** — after the recovery window one probe call is let
+      through; success closes the breaker, failure re-opens it for another
+      window.
+
+    Every state change emits a ``breaker.state_change`` telemetry event, so
+    traces show exactly when a client gave up on (and rediscovered) its
+    server. Thread-compatible for the asyncio client (single event loop);
+    the clock is injectable for deterministic tests.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_s: float = 1.0,
+        name: str = "service",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ReproError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if recovery_s < 0:
+            raise ReproError(f"recovery_s must be >= 0, got {recovery_s}")
+        self.failure_threshold = int(failure_threshold)
+        self.recovery_s = float(recovery_s)
+        self.name = name
+        self._clock = clock
+        self.state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        #: Cumulative counters, exposed for metrics absorption.
+        self.stats = {"opens": 0, "rejections": 0, "failures": 0, "successes": 0}
+
+    # -- state machine -------------------------------------------------------
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        previous, self.state = self.state, state
+        if state == self.OPEN:
+            self.stats["opens"] += 1
+            self._opened_at = self._clock()
+        emit_event(
+            "breaker.state_change",
+            severity="warning" if state == self.OPEN else "info",
+            message=f"breaker {self.name!r}: {previous} -> {state}",
+            breaker=self.name,
+            previous=previous,
+            state=state,
+            consecutive_failures=self._consecutive_failures,
+        )
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        In the open state this flips to half-open (admitting one probe)
+        once the recovery window has elapsed.
+        """
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if self._clock() - self._opened_at < self.recovery_s:
+                self.stats["rejections"] += 1
+                return False
+            self._transition(self.HALF_OPEN)
+            self._probing = True
+            return True
+        # Half-open: exactly one in-flight probe.
+        if self._probing:
+            self.stats["rejections"] += 1
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        self.stats["successes"] += 1
+        self._consecutive_failures = 0
+        self._probing = False
+        self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        self.stats["failures"] += 1
+        self._consecutive_failures += 1
+        self._probing = False
+        if self.state == self.HALF_OPEN:
+            self._transition(self.OPEN)
+        elif self.state == self.CLOSED and self._consecutive_failures >= self.failure_threshold:
+            self._transition(self.OPEN)
+
+    def reject(self) -> CircuitOpenError:
+        """The error to raise when :meth:`allow` refused the call."""
+        remaining = max(0.0, self.recovery_s - (self._clock() - self._opened_at))
+        return CircuitOpenError(
+            f"circuit breaker {self.name!r} is {self.state}; retry in ~{remaining:.2f}s"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CircuitBreaker(name={self.name!r}, state={self.state!r})"

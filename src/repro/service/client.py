@@ -16,23 +16,36 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 from typing import Any, Mapping, Sequence
 
 from ..core.codec import Suggestion, TrialReport
 from ..exceptions import ReproError
+from ..resilience import BackoffPolicy, CircuitBreaker
 from ..telemetry.spans import current_trace_context, format_traceparent, new_trace_id, span
 from ..telemetry.tracing import SessionTrace
 from .wire import WireError
 
 __all__ = ["ServiceClient", "ServiceError"]
 
+#: Statuses that mean "the server is fine, just not right now" — retried
+#: by ``tell_reliably``/``run_session`` alongside connection failures.
+_RETRYABLE_STATUSES = frozenset({429, 503})
+
 
 class ServiceError(ReproError):
-    """A non-2xx response from the service."""
+    """A non-2xx response from the service.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after`` carries the server's ``Retry-After`` hint (seconds)
+    when the response supplied one (429/503 under admission control);
+    retry loops feed it to :meth:`BackoffPolicy.delay`, where it overrides
+    the client-side curve.
+    """
+
+    def __init__(self, status: int, message: str, retry_after: float | None = None) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.retry_after = retry_after
 
 
 class ServiceClient:
@@ -53,12 +66,29 @@ class ServiceClient:
         port: int,
         timeout_s: float = 30.0,
         trace: SessionTrace | None = None,
+        backoff: BackoffPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        transport_faults: Any | None = None,
+        backoff_seed: int | None = None,
     ) -> None:
         self.host = host
         self.port = int(port)
         self.timeout_s = float(timeout_s)
         self.trace = trace
         self.trace_id = trace.trace_id if trace is not None else new_trace_id()
+        #: The shared retry curve for every retry loop on this client.
+        self.backoff = backoff or BackoffPolicy()
+        #: Optional per-client circuit breaker: consecutive transport
+        #: failures open it, and while open requests fail fast with
+        #: :class:`~repro.resilience.CircuitOpenError` (a ConnectionError,
+        #: so the retry loops back off and re-probe).
+        self.breaker = breaker
+        #: Optional :class:`repro.chaos.ClientFaultTransport` injecting
+        #: connection resets / latency ahead of real I/O.
+        self.transport_faults = transport_faults
+        #: Deterministic jitter for tests; ``None`` uses the process-wide
+        #: seeded jitter source.
+        self._rng = random.Random(backoff_seed) if backoff_seed is not None else None
 
     # -- transport ----------------------------------------------------------
     async def request(
@@ -88,26 +118,41 @@ class ServiceClient:
             "Connection: close\r\n"
             "\r\n"
         )
+        if self.breaker is not None and not self.breaker.allow():
+            raise self.breaker.reject()
         with span("service.request", route=path, method=method, retry=retry) as op:
-            reader, writer = await asyncio.wait_for(
-                asyncio.open_connection(self.host, self.port), self.timeout_s
-            )
             try:
-                writer.write(head.encode("latin-1") + body)
-                await writer.drain()
-                raw = await asyncio.wait_for(reader.read(), self.timeout_s)
-            finally:
-                writer.close()
+                if self.transport_faults is not None:
+                    # Injected wire faults (chaos): resets/latency raised
+                    # here exercise the same retry/breaker paths as real ones.
+                    await self.transport_faults.before_request(path)
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.host, self.port), self.timeout_s
+                )
                 try:
-                    await writer.wait_closed()
-                except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
-                    pass
-            try:
+                    writer.write(head.encode("latin-1") + body)
+                    await writer.drain()
+                    raw = await asyncio.wait_for(reader.read(), self.timeout_s)
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                        pass
                 data = self._parse_response(raw)
             except ServiceError as err:
+                # The server answered: transport is healthy, whatever the status.
+                if self.breaker is not None:
+                    self.breaker.record_success()
                 if op is not None:
                     op.set(status=err.status)
                 raise
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success()
             if op is not None:
                 op.set(status=200)
             return data
@@ -123,17 +168,28 @@ class ServiceClient:
         except (IndexError, ValueError):
             raise WireError(f"malformed status line {status_line!r}") from None
         content_type = ""
+        retry_after: float | None = None
         for line in head.split(b"\r\n")[1:]:
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-type":
+            name = name.strip().lower()
+            if name == "content-type":
                 content_type = value.strip()
+            elif name == "retry-after":
+                try:
+                    retry_after = float(value.strip())
+                except ValueError:
+                    retry_after = None  # HTTP-date form: ignore, use the curve
         if content_type.startswith("application/json"):
             data = json.loads(body.decode("utf-8")) if body else None
         else:
             data = body.decode("utf-8")
         if status >= 400:
-            message = data["error"]["message"] if isinstance(data, dict) and "error" in data else str(data)
-            raise ServiceError(status, message)
+            message = str(data)
+            if isinstance(data, dict) and "error" in data:
+                message = data["error"].get("message", message)
+                if retry_after is None and "retry_after" in data["error"]:
+                    retry_after = float(data["error"]["retry_after"])
+            raise ServiceError(status, message, retry_after=retry_after)
         return data
 
     # -- API ----------------------------------------------------------------
@@ -164,22 +220,34 @@ class ServiceClient:
         session_id: str,
         report: TrialReport,
         retries: int = 20,
-        delay_s: float = 0.1,
+        delay_s: float | None = None,
     ) -> dict[str, Any]:
         """At-least-once tell with journal-side dedup = exactly-once record.
 
         Requires ``report.report_id``; retries connection-level failures
-        (server down / restarting) with backoff until the report is acked.
+        (server down / restarting) and retryable statuses (429/503 from
+        admission control or a transient store outage) through the shared
+        full-jitter :class:`BackoffPolicy`, honouring server ``Retry-After``
+        hints. ``delay_s`` overrides the policy's base delay (backward
+        compatibility with the pre-policy signature).
         """
         if report.report_id is None:
             raise WireError("tell_reliably needs a report with a report_id")
+        policy = self.backoff if delay_s is None else BackoffPolicy(
+            base_s=delay_s, cap_s=self.backoff.cap_s, multiplier=self.backoff.multiplier
+        )
         last: Exception | None = None
         for attempt in range(retries + 1):
+            retry_after: float | None = None
             try:
                 return await self.tell(session_id, report, retry=attempt)
+            except ServiceError as err:
+                if err.status not in _RETRYABLE_STATUSES:
+                    raise
+                last, retry_after = err, err.retry_after
             except (ConnectionError, OSError, asyncio.TimeoutError) as err:
                 last = err
-                await asyncio.sleep(min(delay_s * (1.5**attempt), 2.0))
+            await asyncio.sleep(policy.delay(attempt, rng=self._rng, retry_after=retry_after))
         raise ServiceError(503, f"tell not acknowledged after {retries + 1} attempts: {last}")
 
     async def step(self, session_id: str, n: int = 1) -> dict[str, Any]:
@@ -203,7 +271,9 @@ class ServiceClient:
         server restarts mid-campaign without duplicating trials.
         """
         prefix = report_prefix or session_id
+        outage = 0  # consecutive failed polls; resets once the server answers
         while True:
+            retry_after: float | None = None
             try:
                 status = await self.status(session_id)
                 if status["complete"]:
@@ -212,13 +282,24 @@ class ServiceClient:
                 suggestions = await self.ask(session_id, n=want)
             except (ConnectionError, OSError, asyncio.TimeoutError):
                 # Server down or restarting: durable sessions make waiting
-                # out the outage the whole recovery protocol.
-                await asyncio.sleep(0.2)
+                # out the outage the whole recovery protocol. Full-jitter
+                # backoff keeps a fleet of waiting clients from stampeding
+                # the server the instant it returns.
+                outage += 1
+                await asyncio.sleep(self.backoff.delay(outage - 1, rng=self._rng))
                 continue
             except ServiceError as err:
                 if err.status == 400:  # completed concurrently
                     return await self.status(session_id)
+                if err.status in _RETRYABLE_STATUSES:
+                    outage += 1
+                    retry_after = err.retry_after
+                    await asyncio.sleep(
+                        self.backoff.delay(outage - 1, rng=self._rng, retry_after=retry_after)
+                    )
+                    continue
                 raise
+            outage = 0
             for suggestion in suggestions:
                 metrics = evaluate(suggestion.config)
                 report = TrialReport(

@@ -29,7 +29,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Any, Mapping
 
-from ..core.journal import StorageError
+from ..core.journal import StorageError, TransientStorageError
 from ..core.manager import SessionManager
 from ..core.session import Evaluator, TuningSession
 from ..exceptions import OptimizerError, ReproError
@@ -90,6 +90,8 @@ class ServiceHandlers:
                 return entry
             try:
                 session = await asyncio.to_thread(self.manager.resume, session_id)
+            except TransientStorageError:
+                raise  # retryable store outage, not a missing session: let it map to 503
             except StorageError as err:
                 raise NotFoundError(str(err)) from err
             meta = await asyncio.to_thread(self.manager.meta, session_id)
@@ -189,6 +191,8 @@ class ServiceHandlers:
     async def status(self, session_id: str) -> dict[str, Any]:
         try:
             return await asyncio.to_thread(self.manager.status, session_id)
+        except TransientStorageError:
+            raise
         except StorageError as err:
             raise NotFoundError(str(err)) from err
 
@@ -223,7 +227,14 @@ class ServiceHandlers:
         async with entry.lock:
             trial, duplicate = await asyncio.to_thread(entry.session.tell, report)
             complete = entry.session.is_complete
-            if complete and not duplicate:
+            if complete:
+                # Last chance to make every acknowledged trial durable: a
+                # session that completes while records sit in the spill
+                # buffer must not acknowledge completion until they land.
+                # (manager.complete is idempotent, so duplicate retries of
+                # the final tell safely re-run both steps.)
+                if entry.session.spilled_count:
+                    await asyncio.to_thread(entry.session.flush_spill)
                 await asyncio.to_thread(self.manager.complete, session_id)
         self.metrics.inc("service.trials.duplicates" if duplicate else "service.trials.total")
         return {

@@ -21,9 +21,9 @@ import time
 from contextlib import nullcontext
 from typing import Any, Awaitable, Callable
 
-from ..core.journal import StorageError
+from ..core.journal import StorageError, TransientStorageError
 from ..exceptions import ReproError
-from ..telemetry.spans import bind_trace, current_trace_id, parse_traceparent, span
+from ..telemetry.spans import bind_trace, current_trace_id, emit_event, parse_traceparent, span
 from .handlers import NotFoundError, ServiceHandlers
 from .wire import WireError, dump_json, error_body, parse_json_body
 
@@ -40,7 +40,9 @@ _STATUS_TEXT = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -69,32 +71,80 @@ class TuningServer:
         handlers: ServiceHandlers,
         host: str = "127.0.0.1",
         port: int = 8765,
+        max_in_flight: int = 64,
+        queue_depth: int = 128,
+        request_timeout_s: float | None = 30.0,
+        retry_after_s: float = 0.1,
+        fault_hook: Any | None = None,
     ) -> None:
         self.handlers = handlers
         self.host = host
         self.port = port
+        #: Admission control: at most ``max_in_flight`` requests execute
+        #: concurrently; up to ``queue_depth`` more wait for a slot; beyond
+        #: that the server sheds load with 429 + ``Retry-After`` instead of
+        #: letting latency (and memory) grow without bound.
+        self.max_in_flight = int(max_in_flight)
+        self.queue_depth = int(queue_depth)
+        #: Per-request deadline: a dispatch exceeding it answers 503 so a
+        #: wedged store or optimizer cannot silently pin a connection.
+        self.request_timeout_s = request_timeout_s
+        #: The backoff hint (seconds) sent on 429/503 responses.
+        self.retry_after_s = float(retry_after_s)
+        #: Optional :class:`repro.chaos.ServerFaultHook` consulted once per
+        #: accepted connection (chaos testing: resets / accept latency).
+        self.fault_hook = fault_hook
         self._server: asyncio.base_events.Server | None = None
         # Event-loop-local: mutated only from connection tasks, no lock.
         self._in_flight = 0
+        self._queued = 0
+        self._draining = False
+        self._capacity: asyncio.Semaphore | None = None
+        self._idle: asyncio.Event | None = None
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> "TuningServer":
         if self._server is not None:
             raise ReproError("server already started")
+        self._capacity = asyncio.Semaphore(self.max_in_flight)
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
         self._server = await asyncio.start_server(self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
         return self
 
-    async def stop(self, close_handlers: bool = True) -> None:
-        """Stop accepting, close connections; optionally release resources.
+    @property
+    def is_ready(self) -> bool:
+        """Readiness: started and not draining (liveness is answering at all)."""
+        return self._server is not None and not self._draining
 
+    async def stop(self, close_handlers: bool = True, drain_timeout_s: float = 5.0) -> None:
+        """Graceful drain: stop accepting, let in-flight requests finish,
+        close connections; optionally release resources.
+
+        While draining, new requests on surviving keep-alive connections
+        get 503 + ``Retry-After`` and ``/healthz?ready`` flips unready, so
+        load balancers and clients move on before the listener vanishes.
         ``close_handlers=False`` leaves the store open — used by tests that
         restart a server over the same live store object.
         """
         if self._server is not None:
+            self._draining = True
+            emit_event(
+                "service.drain",
+                message="server draining: in-flight requests finishing",
+                in_flight=self._in_flight,
+                queued=self._queued,
+            )
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+            if self._idle is not None and drain_timeout_s > 0:
+                try:
+                    await asyncio.wait_for(self._idle.wait(), timeout=drain_timeout_s)
+                except asyncio.TimeoutError:
+                    self.handlers.metrics.inc("service.drain.abandoned")
         if close_handlers:
             await self.handlers.close()
 
@@ -112,14 +162,18 @@ class TuningServer:
     # -- connection handling -------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         try:
+            if self.fault_hook is not None and not await self.fault_hook.on_connection():
+                return  # injected connection fault: drop without answering
             while True:
                 request = await self._read_request(reader)
                 if request is None:
                     break
                 method, path, headers, body = request
-                status, payload, content_type = await self._serve_request(method, path, headers, body)
+                status, payload, content_type, extra = await self._serve_request(
+                    method, path, headers, body
+                )
                 keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-                await self._write_response(writer, status, payload, content_type, keep_alive)
+                await self._write_response(writer, status, payload, content_type, keep_alive, extra)
                 if not keep_alive:
                     break
         except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError):
@@ -180,6 +234,7 @@ class TuningServer:
         payload: bytes,
         content_type: str,
         keep_alive: bool,
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
         reason = _STATUS_TEXT.get(status, "Unknown")
         head = (
@@ -187,8 +242,10 @@ class TuningServer:
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            "\r\n"
         )
+        for name, value in (extra_headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        head += "\r\n"
         writer.write(head.encode("latin-1") + payload)
         await writer.drain()
 
@@ -208,33 +265,92 @@ class TuningServer:
             return f"session.{match.group(2)}" if match.group(2) else "session.status"
         return "unknown"
 
+    def _retry_headers(self) -> dict[str, str]:
+        return {"Retry-After": f"{self.retry_after_s:g}"}
+
+    def _shed(
+        self, route: str, status: int, reason: str, message: str
+    ) -> tuple[int, bytes, str, dict[str, str]]:
+        """Refuse one request at the admission gate (429/503 + Retry-After)."""
+        metrics = self.handlers.metrics
+        metrics.inc("service.requests.shed")
+        metrics.inc(f"http.request.status.{route}.{status}")
+        emit_event(
+            "service.overload",
+            severity="warning",
+            message=message,
+            route=route,
+            reason=reason,
+            in_flight=self._in_flight,
+            queued=self._queued,
+        )
+        body = error_body(status, message, retry_after=self.retry_after_s)
+        return status, body, "application/json", self._retry_headers()
+
     async def _serve_request(
         self, method: str, path: str, headers: dict[str, str], body: bytes
-    ) -> tuple[int, bytes, str]:
-        """One request: trace binding, ``http.request`` span, route metrics.
+    ) -> tuple[int, bytes, str, dict[str, str]]:
+        """One request: admission control, trace binding, ``http.request``
+        span, per-request deadline, route metrics.
 
         The inbound ``traceparent`` (if any) is bound *before* the service
         trace activates, so every span recorded while handling — including
         optimizer spans running in worker threads via ``asyncio.to_thread``,
         which copies this context — carries the caller's trace id and the
         client and server traces stitch into one Chrome trace.
+
+        ``/healthz`` and ``/metrics`` bypass admission control: probes and
+        scrapers must keep working precisely when the service is saturated.
         """
         route = self._route_key(method, path)
+        exempt = route in ("healthz", "metrics")
+        if self._draining and not exempt:
+            return self._shed(route, 503, "draining", "server is draining; retry later")
+        acquired = False
+        if not exempt and self._capacity is not None:
+            if self._capacity.locked():
+                if self._queued >= self.queue_depth:
+                    return self._shed(
+                        route,
+                        429,
+                        "queue_full",
+                        f"server at capacity ({self.max_in_flight} in flight, "
+                        f"{self._queued} queued); retry later",
+                    )
+                self._queued += 1
+                self.handlers.metrics.set_gauge("http.requests.queued", self._queued)
+                try:
+                    await self._capacity.acquire()
+                finally:
+                    self._queued -= 1
+                    self.handlers.metrics.set_gauge("http.requests.queued", self._queued)
+            else:
+                await self._capacity.acquire()
+            acquired = True
         inbound = parse_traceparent(headers.get("traceparent"))
         metrics = self.handlers.metrics
         self._in_flight += 1
+        if self._idle is not None:
+            self._idle.clear()
         metrics.set_gauge("http.requests.in_flight", self._in_flight)
         t0 = time.perf_counter()
         try:
             with (bind_trace(inbound) if inbound is not None else _NULL_CTX):
                 with self.handlers.trace.activated():
                     with span("http.request", route=route, method=method) as op:
-                        status, payload, content_type = await self._dispatch(method, path, body)
+                        status, payload, content_type = await self._deadline_dispatch(
+                            method, path, body
+                        )
                         if op is not None:
                             op.set(status=status)
         finally:
             self._in_flight -= 1
+            if self._in_flight == 0 and self._idle is not None:
+                self._idle.set()
             metrics.set_gauge("http.requests.in_flight", self._in_flight)
+            if acquired:
+                assert self._capacity is not None
+                self._capacity.release()
         elapsed = time.perf_counter() - t0
         metrics.inc("service.requests.total")
         if status >= 400:
@@ -242,7 +358,26 @@ class TuningServer:
         metrics.observe("request.seconds", elapsed)
         metrics.observe(f"http.request.seconds.{route}", elapsed)
         metrics.inc(f"http.request.status.{route}.{status}")
-        return status, payload, content_type
+        extra = self._retry_headers() if status in (429, 503) else {}
+        return status, payload, content_type, extra
+
+    async def _deadline_dispatch(self, method: str, path: str, body: bytes) -> tuple[int, bytes, str]:
+        """Dispatch under the per-request deadline (overrun → 503)."""
+        if self.request_timeout_s is None:
+            return await self._dispatch(method, path, body)
+        try:
+            return await asyncio.wait_for(
+                self._dispatch(method, path, body), timeout=self.request_timeout_s
+            )
+        except asyncio.TimeoutError:
+            self.handlers.metrics.inc("service.requests.deadline_exceeded")
+            payload = error_body(
+                503,
+                f"request exceeded the {self.request_timeout_s:g}s deadline",
+                trace_id=current_trace_id(),
+                retry_after=self.retry_after_s,
+            )
+            return 503, payload, "application/json"
 
     async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, bytes, str]:
         try:
@@ -251,6 +386,14 @@ class TuningServer:
             return 400, error_body(400, str(err), trace_id=current_trace_id()), "application/json"
         except NotFoundError as err:
             return 404, error_body(404, str(err), trace_id=current_trace_id()), "application/json"
+        except TransientStorageError as err:
+            # Retryable store outage (contention, disk pressure, injected
+            # chaos): tell the client to back off and try again, never 409.
+            self.handlers.metrics.inc("service.requests.storage_transient")
+            payload = error_body(
+                503, str(err), trace_id=current_trace_id(), retry_after=self.retry_after_s
+            )
+            return 503, payload, "application/json"
         except StorageError as err:
             return 409, error_body(409, str(err), trace_id=current_trace_id()), "application/json"
         except Exception as err:  # noqa: BLE001 - the server must not die with a connection
@@ -258,9 +401,17 @@ class TuningServer:
             return 500, error_body(500, f"{type(err).__name__}: {err}", trace_id=current_trace_id()), "application/json"
 
     async def _route(self, method: str, path: str, body: bytes) -> tuple[int, bytes, str]:
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
         if path == "/healthz" and method == "GET":
-            return 200, dump_json(await self.handlers.health()), "application/json"
+            payload = await self.handlers.health()
+            payload["ready"] = self.is_ready
+            payload["draining"] = self._draining
+            # Liveness (bare GET) always answers 200 while the process can
+            # serve at all; the readiness probe (?ready) goes 503 during
+            # drain so load balancers stop routing before shutdown.
+            if "ready" in query.split("&") and not self.is_ready:
+                return 503, dump_json(payload), "application/json"
+            return 200, dump_json(payload), "application/json"
         if path == "/metrics" and method == "GET":
             text = await self.handlers.metrics_text()
             return 200, text.encode("utf-8"), "text/plain; version=0.0.4"
@@ -299,6 +450,9 @@ async def serve(
     backend: str | None = None,
     step_workers: int = 4,
     ready: Callable[["TuningServer"], None] | None = None,
+    max_in_flight: int = 64,
+    queue_depth: int = 128,
+    request_timeout_s: float | None = 30.0,
 ) -> None:
     """Open the store, start a :class:`TuningServer`, and serve until cancelled.
 
@@ -311,7 +465,14 @@ async def serve(
 
     manager = SessionManager(open_store(store_path, backend=backend))
     handlers = ServiceHandlers(manager, step_workers=step_workers)
-    server = TuningServer(handlers, host=host, port=port)
+    server = TuningServer(
+        handlers,
+        host=host,
+        port=port,
+        max_in_flight=max_in_flight,
+        queue_depth=queue_depth,
+        request_timeout_s=request_timeout_s,
+    )
     await server.start()
     if ready is not None:
         ready(server)

@@ -61,17 +61,29 @@ def dump_json(payload: Any) -> bytes:
     return json.dumps(json_safe(payload), separators=(",", ":")).encode("utf-8")
 
 
-def error_body(status: int, message: str, trace_id: str | None = None) -> bytes:
+def error_body(
+    status: int,
+    message: str,
+    trace_id: str | None = None,
+    retry_after: float | None = None,
+) -> bytes:
     """JSON error envelope; carries the request's trace id when one is bound.
 
     Without the id, a failed request is invisible in traces — the client
     sees an opaque 4xx/5xx and cannot find the matching server-side
     ``http.request`` span. The server passes the current distributed trace
     id so every error response is greppable in a stitched Chrome trace.
+
+    ``retry_after`` mirrors the ``Retry-After`` response header into the
+    body for clients that only see the envelope (e.g. through proxies that
+    strip nonstandard headers): 429/503 responses carry the server's
+    backoff hint in both places.
     """
     error: dict[str, Any] = {"status": status, "message": message}
     if trace_id is not None:
         error["trace_id"] = trace_id
+    if retry_after is not None:
+        error["retry_after"] = retry_after
     return dump_json({"error": error})
 
 

@@ -9,6 +9,11 @@ replay work depend on but nothing previously enforced:
   Storage-backed :class:`~repro.core.manager.SessionManager` methods count
   as blocking too (they fsync or hit SQLite) unless dispatched through
   ``asyncio.to_thread``/``run_in_executor``.
+* **AST105 — hand-rolled retry sleeps in service code.** Every retry/poll
+  delay under ``repro/service/`` must come from
+  :meth:`repro.resilience.BackoffPolicy.delay` (full jitter, cap,
+  ``Retry-After``): an ``asyncio.sleep`` inside a loop whose argument is
+  not a ``.delay(...)`` call is a latent retry storm.
 * **AST201/AST202/AST203 — RNG hygiene.** Bit-exact replay of a tuning
   campaign requires every random draw to flow from seeded
   ``numpy.random.Generator`` objects. Mutating NumPy's module-global state
@@ -46,6 +51,7 @@ __all__ = ["lint_paths", "lint_source", "AST_RULES"]
 
 AST_RULES: dict[str, tuple[Severity, str]] = {
     "AST101": (Severity.ERROR, "blocking call inside an async function in service code"),
+    "AST105": (Severity.WARNING, "hand-rolled retry sleep in service code bypassing BackoffPolicy"),
     "AST201": (Severity.ERROR, "module-global NumPy RNG state mutation or legacy draw"),
     "AST202": (Severity.ERROR, "module-global stdlib random call"),
     "AST203": (Severity.WARNING, "unseeded np.random.default_rng() (non-replayable)"),
@@ -208,6 +214,7 @@ class _FileChecker(ast.NodeVisitor):
         self._check_rng(node, dotted, tail)
         self._check_span_names(node, dotted, tail)
         self._check_loop_sampling(node, dotted, tail)
+        self._check_retry_sleep(node, dotted, tail)
         if self._async_depth > 0 and self._to_thread_depth == 0:
             self._check_blocking(node, dotted, tail)
         # Arguments of asyncio.to_thread / loop.run_in_executor execute on a
@@ -286,6 +293,33 @@ class _FileChecker(ast.NodeVisitor):
             "per Python iteration — the candidate-generation tail the vectorized "
             "space API exists to remove",
             f"draw the whole batch at once with space.{batched}(...)",
+        )
+
+    def _check_retry_sleep(self, node: ast.Call, dotted: str, tail: str) -> None:
+        """AST105: retry sleeps in service code must route through the
+        shared :class:`repro.resilience.BackoffPolicy`.
+
+        An ``asyncio.sleep(...)`` inside a loop in ``repro/service/`` is a
+        retry/poll delay. Jitterless hand-rolled curves (``0.2``,
+        ``min(d * 1.5**k, cap)``) synchronise whole client fleets into
+        retry storms and ignore server ``Retry-After`` hints; the policy's
+        ``.delay(...)`` is the one audited implementation. The exemption is
+        purely syntactic: the sleep's argument must be a call whose name
+        ends in ``.delay``.
+        """
+        if not self.in_service or self._loop_depth == 0:
+            return
+        if dotted not in {"asyncio.sleep", "time.sleep"}:
+            return
+        if node.args:
+            arg = node.args[0]
+            if isinstance(arg, ast.Call) and _dotted(arg.func).rsplit(".", 1)[-1] == "delay":
+                return  # routed through BackoffPolicy.delay(...)
+        self._report(
+            "AST105", node,
+            f"{dotted}(...) in a retry/poll loop bypasses the shared backoff policy "
+            "(no jitter, no Retry-After honouring)",
+            "sleep for policy.delay(attempt, rng=..., retry_after=...) from repro.resilience",
         )
 
     def _check_span_names(self, node: ast.Call, dotted: str, tail: str) -> None:

@@ -60,6 +60,14 @@ EVENT_KINDS: frozenset[str] = frozenset(
         "workload.shift",
         "staticcheck.finding",    # a lint finding surfaced at session create
         "replay.divergence",      # first point where a replayed session departs the journal
+        # robustness / chaos engineering
+        "chaos.fault",            # an injected fault fired (site, key, index, kind)
+        "optimizer.degraded",     # surrogate fit failed/slow; suggestion degraded to random
+        "store.spill",            # transient store failure: trial held in the spill buffer
+        "store.spill_flush",      # spilled trials flushed to durable storage
+        "breaker.state_change",   # circuit breaker closed/open/half_open transition
+        "service.overload",       # admission control shed a request (429/503)
+        "service.drain",          # server entered graceful drain
     }
 )
 

@@ -3,9 +3,11 @@ and legacy-file migration."""
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import signal
+import sqlite3
 import subprocess
 import sys
 import textwrap
@@ -18,6 +20,7 @@ from repro.core.journal import (
     AppendResult,
     SessionMeta,
     StorageError,
+    TransientStorageError,
     import_legacy_trials,
     new_session_id,
 )
@@ -342,3 +345,91 @@ class TestLegacyMigration:
 def test_new_session_id_unique():
     ids = {new_session_id() for _ in range(100)}
     assert len(ids) == 100
+
+
+class TestInjectedStorageFaults:
+    """The store contract under injected low-level failures: retryable
+    errors are :class:`TransientStorageError`, and a failed append never
+    leaves a phantom record behind."""
+
+    def test_sqlite_locked_is_transient_and_retryable(self, tmp_path):
+        store = SqliteTrialStore(tmp_path / "trials.sqlite")
+        store.create_session(simple_meta())
+        real = store._db
+
+        class LockedOnce:
+            """Delegating connection that fails the first transaction."""
+
+            def __init__(self, db):
+                self._db = db
+                self.tripped = False
+
+            def __getattr__(self, name):
+                return getattr(self._db, name)
+
+            def execute(self, sql, *args):
+                if not self.tripped and sql.lstrip().upper().startswith("BEGIN"):
+                    self.tripped = True
+                    raise sqlite3.OperationalError("database is locked")
+                return self._db.execute(sql, *args)
+
+        store._db = LockedOnce(real)
+        with pytest.raises(TransientStorageError):
+            store.append_trial("s1", record(0))
+        assert store.append_trial("s1", record(0)).trial_id == 0  # plain retry
+        assert store.trial_count("s1") == 1
+        store._db = real
+        store.close()
+
+    def test_sqlite_error_classifier(self):
+        from repro.core.stores.sqlite import _storage_error
+
+        for message in ("database is locked", "database is busy", "disk is full"):
+            err = _storage_error("x", sqlite3.OperationalError(message))
+            assert isinstance(err, TransientStorageError), message
+        err = _storage_error("x", sqlite3.IntegrityError("UNIQUE constraint failed"))
+        assert isinstance(err, StorageError)
+        assert not isinstance(err, TransientStorageError)
+
+    @pytest.mark.parametrize("code", [errno.EIO, errno.ENOSPC])
+    def test_json_fsync_failure_leaves_no_phantom_record(self, tmp_path, monkeypatch, code):
+        store = JsonJournalStore(tmp_path / "journal")  # fsync on: the durable config
+        store.create_session(simple_meta())
+        store.append_trial("s1", record(0))
+
+        def broken_fsync(fd):
+            raise OSError(code, os.strerror(code))
+
+        monkeypatch.setattr(os, "fsync", broken_fsync)
+        with pytest.raises(TransientStorageError):
+            store.append_trial("s1", record(1))
+        monkeypatch.undo()
+        # The failed append was rolled back: no torn or phantom line.
+        assert [r["trial_id"] for r in store.load_trials("s1")] == [0]
+        assert store.append_trial("s1", record(1)).trial_id == 1
+        store.close()
+
+    def test_json_unopenable_journal_is_transient(self, tmp_path):
+        store = JsonJournalStore(tmp_path / "journal")
+        store.create_session(simple_meta())
+        path = store._journal_path("s1")
+        path.mkdir()  # opening a directory for append fails like a bad disk
+        with pytest.raises(TransientStorageError):
+            store.append_trial("s1", record(0))
+        path.rmdir()
+        assert store.append_trial("s1", record(0)).trial_id == 0
+        store.close()
+
+    def test_faulty_store_with_empty_plan_is_transparent(self, tmp_path):
+        from repro.chaos import FaultPlan, FaultyStore
+
+        store = FaultyStore(
+            JsonJournalStore(tmp_path / "journal"), FaultPlan(seed=0).injector()
+        )
+        store.create_session(simple_meta())
+        for i in range(3):
+            assert store.append_trial("s1", record(i, report_id=f"r-{i}")).trial_id == i
+        assert store.append_trial("s1", record(0, report_id="r-0")).duplicate
+        assert store.trial_count("s1") == 3
+        assert store.list_sessions() == ["s1"]
+        store.close()

@@ -363,3 +363,60 @@ class TestLoopSampling:
         """, path=self.OPT)
         assert rules_of(findings) == []
         assert rules_of(findings, include_suppressed=True) == ["AST204"]
+
+
+class TestRetrySleepInService:
+    def test_asyncio_sleep_in_retry_loop_fires(self):
+        findings = lint("""
+            import asyncio
+            async def retry():
+                for attempt in range(5):
+                    await asyncio.sleep(0.2)
+        """)
+        assert rules_of(findings) == ["AST105"]
+        assert all(f.severity is Severity.WARNING for f in findings)
+
+    def test_policy_delay_argument_is_exempt(self):
+        findings = lint("""
+            import asyncio
+            async def retry(policy, rng):
+                for attempt in range(5):
+                    await asyncio.sleep(policy.delay(attempt, rng=rng))
+        """)
+        assert findings == []
+
+    def test_sleep_outside_loop_is_fine(self):
+        findings = lint("""
+            import asyncio
+            async def once():
+                await asyncio.sleep(0.1)
+        """)
+        assert findings == []
+
+    def test_while_loop_time_sleep_in_sync_service_helper(self):
+        findings = lint("""
+            import time
+            def wait_for_port():
+                while True:
+                    time.sleep(0.5)
+        """)
+        assert rules_of(findings) == ["AST105"]
+
+    def test_outside_service_tree_not_checked(self):
+        findings = lint("""
+            import asyncio
+            async def retry():
+                for _ in range(3):
+                    await asyncio.sleep(0.2)
+        """, path="src/repro/core/mod.py")
+        assert findings == []
+
+    def test_noqa_suppression_accounted(self):
+        findings = lint("""
+            import asyncio
+            async def retry():
+                for _ in range(3):
+                    await asyncio.sleep(0.2)  # repro: noqa AST105
+        """)
+        assert rules_of(findings) == []
+        assert rules_of(findings, include_suppressed=True) == ["AST105"]
